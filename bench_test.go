@@ -1,0 +1,282 @@
+package repro_test
+
+// One benchmark per table/figure of the paper (scaled-down cells, so the
+// full -bench=. run stays fast), plus micro-benchmarks of the substrates.
+// Absolute wall-clock numbers measure the *simulator*; the virtual-time
+// results inside each experiment are what reproduce the paper (run
+// cmd/dynexp for those).
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/cg"
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/particles"
+	"repro/internal/apps/sor"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/distribution"
+	"repro/internal/drsd"
+	"repro/internal/exp"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+	"repro/internal/vclock"
+)
+
+// loaded4 is the canonical scenario: 4 nodes, one CP on node 1 at cycle 10.
+func loaded4() cluster.Spec {
+	return cluster.Uniform(4).With(cluster.CycleEvent(1, 10, +1))
+}
+
+func benchResult(b *testing.B, res apps.Result, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Redists == 0 {
+		b.Fatal("benchmark scenario did not adapt")
+	}
+}
+
+// --- Figure 4: one cell per application ------------------------------------
+
+func BenchmarkFig4Jacobi(b *testing.B) {
+	cfg := jacobi.DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 128, 128, 80, 10e3
+	for i := 0; i < b.N; i++ {
+		res, err := jacobi.Run(cluster.New(loaded4()), cfg)
+		benchResult(b, res, err)
+	}
+}
+
+func BenchmarkFig4SOR(b *testing.B) {
+	cfg := sor.DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 128, 128, 80, 10e3
+	for i := 0; i < b.N; i++ {
+		res, err := sor.Run(cluster.New(loaded4()), cfg)
+		benchResult(b, res, err)
+	}
+}
+
+func BenchmarkFig4CG(b *testing.B) {
+	cfg := cg.DefaultConfig()
+	cfg.N, cfg.Iters, cfg.CostPerNnz = 600, 60, 20e3
+	for i := 0; i < b.N; i++ {
+		res, err := cg.Run(cluster.New(loaded4()), cfg)
+		benchResult(b, res, err)
+	}
+}
+
+func BenchmarkFig4Particles(b *testing.B) {
+	cfg := particles.DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.Steps, cfg.CostPerParticle = 64, 64, 80, 30e3
+	cfg.ExtraAllP0 = 1
+	spec := cluster.Uniform(4).With(cluster.CycleEvent(0, 10, +1))
+	for i := 0; i < b.N; i++ {
+		res, err := particles.Run(cluster.New(spec), cfg)
+		benchResult(b, res, err)
+	}
+}
+
+// --- §5.1 CG case study ------------------------------------------------------
+
+func BenchmarkCGTable(b *testing.B) {
+	cfg := cg.DefaultConfig()
+	cfg.N, cfg.Iters, cfg.CostPerNnz = 600, 60, 20e3
+	cfg.Core.Drop = core.DropNever
+	for i := 0; i < b.N; i++ {
+		res, err := cg.Run(cluster.New(loaded4()), cfg)
+		benchResult(b, res, err)
+	}
+}
+
+// --- Figure 5: multiple redistribution points -------------------------------
+
+func BenchmarkFig5ShortExecution(b *testing.B) {
+	cfg := jacobi.DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 128, 512, 90, 3e3
+	cfg.Core.Drop = core.DropNever
+	spec := cluster.Uniform(4).
+		With(cluster.CycleEvent(1, 30, +1)).
+		With(cluster.CycleEvent(1, 60, -1))
+	for i := 0; i < b.N; i++ {
+		res, err := jacobi.Run(cluster.New(spec), cfg)
+		benchResult(b, res, err)
+	}
+}
+
+// --- Figure 6: node removal --------------------------------------------------
+
+func BenchmarkFig6KeepVsDrop(b *testing.B) {
+	cfg := sor.DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 128, 256, 60, 6e3
+	spec := cluster.Uniform(8).With(cluster.TimeEvent(4, 0, +1))
+	for i := 0; i < b.N; i++ {
+		keep := cfg
+		keep.Core = core.DefaultConfig()
+		keep.Core.Drop = core.DropNever
+		res, err := sor.Run(cluster.New(spec), keep)
+		benchResult(b, res, err)
+		drop := cfg
+		drop.Core = core.DefaultConfig()
+		drop.Core.Drop = core.DropAlways
+		res, err = sor.Run(cluster.New(spec), drop)
+		benchResult(b, res, err)
+	}
+}
+
+// --- Figure 7: grace periods -------------------------------------------------
+
+func BenchmarkFig7GracePeriods(b *testing.B) {
+	cfg := particles.DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.Steps, cfg.CostPerParticle = 64, 48, 120, 5e3
+	cfg.ExtraTopP0 = 10
+	cfg.Core.Drop = core.DropNever
+	spec := cluster.Uniform(8).With(cluster.CycleEvent(0, 10, +1))
+	for i := 0; i < b.N; i++ {
+		for _, gp := range []int{1, 5} {
+			c := cfg
+			c.Core.GracePeriod = gp
+			res, err := particles.Run(cluster.New(spec), c)
+			benchResult(b, res, err)
+		}
+	}
+}
+
+// --- §4.1 allocation comparison ----------------------------------------------
+
+func BenchmarkAllocProjectionGrow(b *testing.B) {
+	benchAllocGrow(b, matrix.Projection)
+}
+
+func BenchmarkAllocContiguousGrow(b *testing.B) {
+	benchAllocGrow(b, matrix.Contiguous)
+}
+
+func benchAllocGrow(b *testing.B, scheme matrix.Alloc) {
+	for i := 0; i < b.N; i++ {
+		d := matrix.NewDense("A", 2048, 256, scheme, nil)
+		d.SetWindow(0, 1024)
+		for w := 1025; w <= 2048; w += 64 {
+			d.SetWindow(0, w)
+		}
+	}
+}
+
+// --- §4.3 micro-benchmarks -----------------------------------------------------
+
+func BenchmarkMicrobenchPairFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if f := distribution.MeasurePairFraction(1, 16); f <= 0 || f > 0.5 {
+			b.Fatalf("fraction %v out of range", f)
+		}
+	}
+}
+
+func BenchmarkSuccessiveBalancing(b *testing.B) {
+	nodes := make([]distribution.Node, 32)
+	for i := range nodes {
+		nodes[i] = distribution.Node{Rank: i, Power: 1}
+	}
+	nodes[7].Load = 2
+	nodes[19].Load = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distribution.SuccessiveBalancingFractions(nodes, 1.0, 0.01, nil)
+	}
+}
+
+func BenchmarkPartitionWeighted(b *testing.B) {
+	costs := make([]float64, 16384)
+	for i := range costs {
+		costs[i] = float64(i%7 + 1)
+	}
+	fr := []float64{0.1, 0.2, 0.25, 0.15, 0.3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distribution.PartitionWeighted(costs, fr)
+	}
+}
+
+// --- substrate micro-benchmarks -----------------------------------------------
+
+func BenchmarkMPISendRecv(b *testing.B) {
+	payload := make([]float64, 1024)
+	err := mpi.Run(cluster.New(cluster.Uniform(2)), func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < b.N; i++ {
+				c.Send(1, 0, payload, mpi.F64Bytes(len(payload)))
+			}
+		} else {
+			for i := 0; i < b.N; i++ {
+				c.Recv(0, 0)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkMPIAllreduce8(b *testing.B) {
+	err := mpi.Run(cluster.New(cluster.Uniform(8)), func(c *mpi.Comm) error {
+		g := c.World().AllGroup()
+		v := []float64{float64(c.Rank())}
+		for i := 0; i < b.N; i++ {
+			c.AllreduceF64s(g, v, mpi.Sum)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkRedistributionSchedule(b *testing.B) {
+	ranks := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	old := drsd.EqualBlock(ranks, 16384)
+	counts := []int{1000, 3000, 2000, 2500, 1500, 2000, 2384, 2000}
+	nw := drsd.NewBlock(ranks, counts)
+	acc := []drsd.Access{{Array: "A", Step: 1, Off: 0}, {Array: "A", Step: 1, Off: -1}, {Array: "A", Step: 1, Off: 1}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drsd.ScheduleWindows(old, nw, acc)
+	}
+}
+
+func BenchmarkSparsePackUnpack(b *testing.B) {
+	s := matrix.NewSparse("S", 1, nil)
+	s.SetWindow(0, 1)
+	for k := 0; k < 256; k++ {
+		s.Append(0, int32(k), float64(k))
+	}
+	d := matrix.NewSparse("D", 1, nil)
+	d.SetWindow(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.UnpackRow(0, s.PackRow(0))
+	}
+}
+
+func BenchmarkNodeCompute(b *testing.B) {
+	spec := cluster.Uniform(1).With(cluster.TimeEvent(0, 0, +1))
+	n := cluster.New(spec).Node(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Compute(vclock.Millisecond)
+	}
+}
+
+func BenchmarkEndToEndQuickJacobi(b *testing.B) {
+	// Whole-stack sanity benchmark: a complete adaptive run per iteration.
+	o := exp.DefaultFig4Options()
+	_ = o // options documented; the cell below matches fig4's jacobi/4 shape
+	cfg := jacobi.DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 96, 96, 60, 20e3
+	for i := 0; i < b.N; i++ {
+		res, err := jacobi.Run(cluster.New(loaded4()), cfg)
+		benchResult(b, res, err)
+	}
+}

@@ -1,0 +1,148 @@
+// Command dynexp regenerates every table and figure of the Dyn-MPI paper's
+// evaluation (§5) on the simulated non dedicated cluster, plus the design
+// ablations from §4. Each subcommand prints one experiment:
+//
+//	dynexp fig4        — four applications × {2,4,8} nodes, normalised times
+//	dynexp cg-table    — the §5.1 four-node CG case study
+//	dynexp fig5        — Jacobi with multiple redistribution points
+//	dynexp fig6        — SOR node removal vs keeping the loaded node
+//	dynexp fig7        — particle simulation, grace period 1 vs 5
+//	dynexp alloc       — §4.1 projection vs contiguous allocation
+//	dynexp microbench  — §4.3 pair-fraction table and method comparison
+//	dynexp all         — everything above
+//
+// The -paper flag selects the paper's original input sizes (slower); the
+// default scaled inputs preserve the computation/communication ratios (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|all}\n")
+	os.Exit(2)
+}
+
+func main() {
+	paper := flag.Bool("paper", false, "use the paper's original input sizes")
+	nodesFlag := flag.String("nodes", "", "comma-separated node counts (fig4/fig6 only)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+	}
+
+	var nodes []int
+	if *nodesFlag != "" {
+		for _, part := range strings.Split(*nodesFlag, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "dynexp: bad -nodes value %q\n", part)
+				os.Exit(2)
+			}
+			nodes = append(nodes, n)
+		}
+	}
+
+	run := func(name string) error {
+		start := time.Now()
+		defer func() {
+			fmt.Printf("  [%s completed in %.1fs wall time]\n\n", name, time.Since(start).Seconds())
+		}()
+		switch name {
+		case "fig4":
+			o := exp.DefaultFig4Options()
+			o.Paper = *paper
+			if nodes != nil {
+				o.Nodes = nodes
+			}
+			r, err := exp.RunFig4(o)
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			fmt.Printf("  mean improvement over no-adapt: %.0f%% (paper: 72%%); mean slowdown vs dedicated: %.0f%% (paper: 29%%)\n",
+				r.Improvement()*100, r.Slowdown()*100)
+		case "cg-table":
+			o := exp.DefaultCGTableOptions()
+			o.Paper = *paper
+			r, err := exp.RunCGTable(o)
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+		case "fig5":
+			o := exp.DefaultFig5Options()
+			o.Paper = *paper
+			r, err := exp.RunFig5(o)
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+		case "fig6":
+			o := exp.DefaultFig6Options()
+			o.Paper = *paper
+			if nodes != nil {
+				o.Nodes = nodes
+			}
+			r, err := exp.RunFig6(o)
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+		case "fig7":
+			o := exp.DefaultFig7Options()
+			o.Paper = *paper
+			r, err := exp.RunFig7(o)
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+		case "alloc":
+			o := exp.DefaultAllocOptions()
+			o.Paper = *paper
+			r, err := exp.RunAlloc(o)
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+		case "microbench":
+			r, err := exp.RunMicrobench(exp.DefaultMicrobenchOptions())
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+		case "virt":
+			r, err := exp.RunVirt(exp.DefaultVirtOptions())
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+		default:
+			usage()
+		}
+		return nil
+	}
+
+	target := flag.Arg(0)
+	var names []string
+	if target == "all" {
+		names = []string{"fig4", "cg-table", "fig5", "fig6", "fig7", "alloc", "microbench", "virt"}
+	} else {
+		names = []string{target}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintf(os.Stderr, "dynexp %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a production-quality Go reproduction of "Dyn-MPI:
+// Supporting MPI on Non Dedicated Clusters" (Weatherly, Lowenthal,
+// Nakazawa, Lowenthal — SC 2003).
+//
+// The public API lives in repro/dynmpi; the experiment CLI in
+// cmd/dynexp; the per-figure reproduction details in DESIGN.md and
+// EXPERIMENTS.md. Benchmarks in bench_test.go regenerate a scaled-down
+// cell of every table and figure in the paper's evaluation.
+package repro

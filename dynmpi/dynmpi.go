@@ -1,0 +1,169 @@
+// Package dynmpi is the public API of the Dyn-MPI reproduction: a runtime
+// system that automatically redistributes block-distributed array data when
+// the load on a (simulated) non dedicated cluster changes, following
+// Weatherly, Lowenthal, Nakazawa & Lowenthal, "Dyn-MPI: Supporting MPI on
+// Non Dedicated Clusters" (SC 2003).
+//
+// A Dyn-MPI program mirrors the paper's Figure 2: register the arrays that
+// may be redistributed, declare each array reference of the partitioned
+// loop as a deferred regular section descriptor, and then, every phase
+// cycle, ask the runtime for the current loop bounds and communicate via
+// relative ranks:
+//
+//	err := dynmpi.Launch(dynmpi.Uniform(4), dynmpi.DefaultConfig(),
+//	    func(rt *dynmpi.Runtime) error {
+//	        a := rt.RegisterDense("A", n, n)
+//	        ph := rt.InitPhase(n)
+//	        ph.AddAccess("A", dynmpi.ReadWrite, 1, 0)
+//	        rt.Commit()
+//	        // ... fill a ...
+//	        for t := 0; t < iters; t++ {
+//	            if rt.BeginCycle() {
+//	                lo, hi := ph.Bounds()
+//	                for i := lo; i < hi; i++ {
+//	                    // real computation on a.Row(i)
+//	                    rt.ComputeIter(i, costOfRow)
+//	                }
+//	                // explicit communication via rt.SendRel / rt.RecvRel
+//	            }
+//	            rt.EndCycle()
+//	        }
+//	        rt.Finalize()
+//	        return nil
+//	    })
+//
+// The underlying cluster, message passing, matrices, section descriptors
+// and distribution algorithms live in the internal packages; this package
+// re-exports everything a user program needs.
+package dynmpi
+
+import (
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/drsd"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+	"repro/internal/vclock"
+)
+
+// Core runtime types (see internal/core for full documentation).
+type (
+	// Runtime is one rank's Dyn-MPI runtime instance.
+	Runtime = core.Runtime
+	// Config parameterises the runtime.
+	Config = core.Config
+	// Phase is one computation/communication section of the phase cycle.
+	Phase = core.Phase
+	// Method selects the distribution algorithm.
+	Method = core.Method
+	// DropPolicy controls node removal.
+	DropPolicy = core.DropPolicy
+	// Event is one adaptation-trace entry.
+	Event = core.Event
+)
+
+// Distribution methods and drop policies.
+const (
+	SuccessiveBalancing = core.SuccessiveBalancing
+	RelativePower       = core.RelativePower
+
+	DropAuto    = core.DropAuto
+	DropNever   = core.DropNever
+	DropAlways  = core.DropAlways
+	DropLogical = core.DropLogical
+)
+
+// Access modes for AddAccess.
+const (
+	Read      = drsd.Read
+	Write     = drsd.Write
+	ReadWrite = drsd.ReadWrite
+)
+
+// Allocation schemes for dense arrays.
+const (
+	Projection = matrix.Projection
+	Contiguous = matrix.Contiguous
+)
+
+// Matrix types returned by the registration calls.
+type (
+	// Dense is a rank's resident window of a dense array.
+	Dense = matrix.Dense
+	// Sparse is a rank's resident window of a vector-of-lists sparse array.
+	Sparse = matrix.Sparse
+	// PackedRow is a sparse row packed for transport.
+	PackedRow = matrix.PackedRow
+)
+
+// Cluster scenario types.
+type (
+	// ClusterSpec describes the simulated cluster and its load events.
+	ClusterSpec = cluster.Spec
+	// NodeSpec describes one node.
+	NodeSpec = cluster.NodeSpec
+	// NetParams describes the interconnect cost model.
+	NetParams = cluster.NetParams
+	// LoadEvent changes the competing-process count on one node.
+	LoadEvent = cluster.Event
+)
+
+// Virtual time types.
+type (
+	// Time is a point in virtual time.
+	Time = vclock.Time
+	// Duration is a span of virtual time in nanoseconds.
+	Duration = vclock.Duration
+)
+
+// Common durations.
+const (
+	Microsecond = vclock.Microsecond
+	Millisecond = vclock.Millisecond
+	Second      = vclock.Second
+)
+
+// DefaultConfig returns the paper's default runtime configuration:
+// adaptation on, successive balancing, automatic node removal, 5-cycle
+// grace period, 10-cycle post-redistribution grace.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Uniform returns a cluster of n identical nodes with no competing
+// processes and the paper-like default network parameters.
+func Uniform(n int) ClusterSpec { return cluster.Uniform(n) }
+
+// CompetingProcessAt schedules a competing-process start on node at a
+// virtual time.
+func CompetingProcessAt(node int, at Time) LoadEvent { return cluster.TimeEvent(node, at, +1) }
+
+// CompetingProcessAtCycle schedules a competing-process start on node when
+// its application reaches the given phase cycle (the paper's "introduced on
+// the 10th iteration" scenarios).
+func CompetingProcessAtCycle(node, cycle int) LoadEvent { return cluster.CycleEvent(node, cycle, +1) }
+
+// CompetingProcessStop schedules the removal of one competing process.
+func CompetingProcessStop(node int, at Time) LoadEvent { return cluster.TimeEvent(node, at, -1) }
+
+// Launch runs fn as an SPMD program: one goroutine per cluster node, each
+// receiving its own Runtime built from cfg. It returns the first error any
+// rank produced (a failing rank unwinds the whole world).
+func Launch(spec ClusterSpec, cfg Config, fn func(rt *Runtime) error) error {
+	return mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+		return fn(core.New(c, cfg))
+	})
+}
+
+// F64Bytes reports the wire size of n float64 values, for SendRel calls.
+func F64Bytes(n int) int { return mpi.F64Bytes(n) }
+
+// HaloExchange performs the standard nearest-neighbour boundary exchange
+// for the current block distribution: each rank sends its first owned row
+// up and its last owned row down (snapshotting them), receiving the
+// adjacent ghost rows through store. It is safe across redistributions and
+// node removals: adjacency follows row ownership, not relative rank, and
+// ranks owning no rows neither send nor receive. n is the global row
+// count; rowOf must return resident row g; store receives ghost rows.
+func HaloExchange(rt *Runtime, tag, n int, rowOf func(g int) []float64, store func(g int, row []float64)) {
+	apps.HaloExchange(rt, tag, n, rowOf, store)
+}

@@ -1,0 +1,130 @@
+package dynmpi_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/dynmpi"
+)
+
+// TestPublicAPIEndToEnd exercises the whole facade the way a downstream
+// user would: launch, register, declare accesses, iterate with halo
+// exchange, adapt under load, verify.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	const n, width, iters = 64, 16, 40
+	spec := dynmpi.Uniform(3).With(dynmpi.CompetingProcessAtCycle(1, 3))
+	cfg := dynmpi.DefaultConfig()
+	cfg.Drop = dynmpi.DropNever
+
+	var mu sync.Mutex
+	redists := 0
+	err := dynmpi.Launch(spec, cfg, func(rt *dynmpi.Runtime) error {
+		a := rt.RegisterDense("A", n, width)
+		ph := rt.InitPhase(n)
+		ph.AddAccess("A", dynmpi.ReadWrite, 1, 0)
+		ph.AddAccess("A", dynmpi.Read, 1, -1)
+		ph.AddAccess("A", dynmpi.Read, 1, +1)
+		rt.Commit()
+		a.Fill(func(g, j int) float64 { return float64(g) })
+
+		for t := 0; t < iters; t++ {
+			if rt.BeginCycle() {
+				lo, hi := ph.Bounds()
+				for g := lo; g < hi; g++ {
+					row := a.Row(g)
+					for j := range row {
+						row[j] += 1
+					}
+					rt.ComputeIter(g, 10*dynmpi.Millisecond)
+				}
+				dynmpi.HaloExchange(rt, 1, n,
+					func(g int) []float64 { return a.Row(g) },
+					func(g int, row []float64) { copy(a.Row(g), row) })
+			}
+			rt.EndCycle()
+		}
+
+		if rt.Participating() {
+			lo, hi := ph.Bounds()
+			for g := lo; g < hi; g++ {
+				if a.Row(g)[0] != float64(g+iters) {
+					return fmt.Errorf("row %d = %v, want %v", g, a.Row(g)[0], g+iters)
+				}
+			}
+		}
+		rt.Finalize()
+		mu.Lock()
+		if rt.Redistributions() > redists {
+			redists = rt.Redistributions()
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redists == 0 {
+		t.Fatal("no adaptation through the public API")
+	}
+}
+
+func TestPublicSparseAndGlobals(t *testing.T) {
+	const n = 30
+	spec := dynmpi.Uniform(3).With(dynmpi.CompetingProcessAt(0, 0))
+	cfg := dynmpi.DefaultConfig()
+	cfg.Drop = dynmpi.DropAlways
+	cfg.AllowRejoin = false
+	err := dynmpi.Launch(spec, cfg, func(rt *dynmpi.Runtime) error {
+		s := rt.RegisterSparse("S", n)
+		ph := rt.InitPhase(n)
+		ph.AddAccess("S", dynmpi.ReadWrite, 1, 0)
+		rt.Commit()
+		lo, hi := ph.Bounds()
+		for g := lo; g < hi; g++ {
+			s.Append(g, int32(g), 1)
+		}
+		var last float64
+		for t := 0; t < 25; t++ {
+			total := 0.0
+			if rt.BeginCycle() {
+				lo, hi = ph.Bounds()
+				for g := lo; g < hi; g++ {
+					total += float64(s.RowLen(g))
+					rt.ComputeIter(g, 10*dynmpi.Millisecond)
+				}
+			}
+			last = rt.AllreduceSum(total)
+			rt.EndCycle()
+		}
+		rt.Finalize()
+		if last != n {
+			return fmt.Errorf("global element count %v, want %v", last, n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorPropagatesFromLaunch(t *testing.T) {
+	err := dynmpi.Launch(dynmpi.Uniform(2), dynmpi.DefaultConfig(), func(rt *dynmpi.Runtime) error {
+		if rt.Comm().Rank() == 1 {
+			return fmt.Errorf("deliberate")
+		}
+		rt.InitPhase(4)
+		rt.Commit()
+		rt.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestF64Bytes(t *testing.T) {
+	if dynmpi.F64Bytes(10) != 80 {
+		t.Fatal("F64Bytes")
+	}
+}

@@ -1,0 +1,136 @@
+package cg
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.N, cfg.Iters = 400, 50
+	cfg.CostPerNnz = 25e3 // keep cycles long enough for the 1s load monitor
+	cfg.CostPerVecElem = 2e3
+	return cfg
+}
+
+func loadedSpec(n, node, cycle int) cluster.Spec {
+	return cluster.Uniform(n).With(cluster.CycleEvent(node, cycle, +1))
+}
+
+func TestRowPatternDeterministicAndValid(t *testing.T) {
+	c1, v1 := rowPattern(7, 5, 100, 8)
+	c2, v2 := rowPattern(7, 5, 100, 8)
+	if len(c1) != 8 || len(v1) != 8 {
+		t.Fatalf("pattern size %d", len(c1))
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] || v1[i] != v2[i] {
+			t.Fatal("pattern not deterministic")
+		}
+		if c1[i] == 5 {
+			t.Fatal("diagonal duplicated in off-diagonal pattern")
+		}
+		if c1[i] < 0 || int(c1[i]) >= 100 {
+			t.Fatal("column out of range")
+		}
+	}
+	seen := map[int32]bool{}
+	for _, c := range c1 {
+		if seen[c] {
+			t.Fatal("duplicate column")
+		}
+		seen[c] = true
+	}
+}
+
+func TestResidualDecreases(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Adapt = false
+	res, err := Run(cluster.New(cluster.Uniform(2)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial rho = n; a diagonally dominant system must converge fast.
+	if res.Checksum >= float64(cfg.N)*1e-6 {
+		t.Fatalf("residual %v did not decrease from %v", res.Checksum, float64(cfg.N))
+	}
+}
+
+func TestDeterministicDedicated(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Adapt = false
+	a, err := Run(cluster.New(cluster.Uniform(4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cluster.New(cluster.Uniform(4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum {
+		t.Fatalf("non-deterministic: %v vs %v", a.Checksum, b.Checksum)
+	}
+}
+
+func TestAdaptationPreservesResidualBitExactly(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Drop = core.DropNever
+	dedCfg := cfg
+	dedCfg.Core.Adapt = false
+	ded, err := Run(cluster.New(cluster.Uniform(4)), dedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adp, err := Run(cluster.New(loadedSpec(4, 1, 5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adp.Redists == 0 {
+		t.Fatal("no redistribution; scenario broken")
+	}
+	if adp.Checksum != ded.Checksum {
+		t.Fatalf("sparse redistribution changed CG residual: %v vs %v", adp.Checksum, ded.Checksum)
+	}
+}
+
+func TestAdaptationBeatsNoAdaptation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Drop = core.DropNever
+	spec := loadedSpec(4, 1, 5)
+	adp, err := Run(cluster.New(spec), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noCfg := cfg
+	noCfg.Core.Adapt = false
+	non, err := Run(cluster.New(spec), noCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adp.Elapsed >= non.Elapsed {
+		t.Fatalf("Dyn-MPI (%.3fs) not faster than no adaptation (%.3fs)", adp.Elapsed, non.Elapsed)
+	}
+}
+
+func TestDropPreservesResidual(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Drop = core.DropAlways
+	dedCfg := cfg
+	dedCfg.Core.Adapt = false
+	ded, err := Run(cluster.New(cluster.Uniform(3)), dedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cluster.New(loadedSpec(3, 0, 5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats[0].Removed {
+		t.Fatal("loaded node 0 not removed")
+	}
+	if res.Checksum != ded.Checksum {
+		t.Fatalf("removal changed CG residual: %v vs %v", res.Checksum, ded.Checksum)
+	}
+}

@@ -1,0 +1,48 @@
+package jacobi
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/vclock"
+)
+
+func TestCycleHookObservesEveryCycle(t *testing.T) {
+	cfg := testConfig()
+	cfg.Iters = 15
+	cfg.Core.Adapt = false
+	var mu sync.Mutex
+	seen := map[int][]int{} // rank -> cycles
+	var lastTimes []vclock.Time
+	cfg.CycleHook = func(rank, cycle int, now vclock.Time) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[rank] = append(seen[rank], cycle)
+		if cycle == cfg.Iters-1 {
+			lastTimes = append(lastTimes, now)
+		}
+	}
+	if _, err := Run(cluster.New(cluster.Uniform(3)), cfg); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		cycles := seen[r]
+		if len(cycles) != cfg.Iters {
+			t.Fatalf("rank %d hook fired %d times, want %d", r, len(cycles), cfg.Iters)
+		}
+		for i, c := range cycles {
+			if c != i {
+				t.Fatalf("rank %d cycles out of order: %v", r, cycles)
+			}
+		}
+	}
+	if len(lastTimes) != 3 {
+		t.Fatalf("final-cycle times: %d", len(lastTimes))
+	}
+	for _, tm := range lastTimes {
+		if tm <= 0 {
+			t.Fatal("hook saw zero time")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package sor
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.Iters = 64, 64, 60
+	cfg.CostPerElem = 50e3
+	return cfg
+}
+
+func loadedSpec(n, node, cycle int) cluster.Spec {
+	return cluster.Uniform(n).With(cluster.CycleEvent(node, cycle, +1))
+}
+
+func TestDeterministicDedicated(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Adapt = false
+	a, err := Run(cluster.New(cluster.Uniform(4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cluster.New(cluster.Uniform(4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum {
+		t.Fatalf("non-deterministic: %v vs %v", a.Checksum, b.Checksum)
+	}
+}
+
+func TestAdaptationPreservesValuesBitExactly(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Drop = core.DropNever
+	dedCfg := cfg
+	dedCfg.Core.Adapt = false
+	ded, err := Run(cluster.New(cluster.Uniform(4)), dedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adp, err := Run(cluster.New(loadedSpec(4, 1, 5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adp.Redists == 0 {
+		t.Fatal("no redistribution; scenario broken")
+	}
+	if adp.Checksum != ded.Checksum {
+		t.Fatalf("redistribution changed SOR results: %v vs %v", adp.Checksum, ded.Checksum)
+	}
+}
+
+func TestAdaptationBeatsNoAdaptation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Drop = core.DropNever
+	spec := loadedSpec(4, 1, 5)
+	adp, err := Run(cluster.New(spec), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noCfg := cfg
+	noCfg.Core.Adapt = false
+	non, err := Run(cluster.New(spec), noCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adp.Elapsed >= non.Elapsed {
+		t.Fatalf("Dyn-MPI (%.3fs) not faster than no adaptation (%.3fs)", adp.Elapsed, non.Elapsed)
+	}
+}
+
+func TestPhysicalDropPreservesValues(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Drop = core.DropAlways
+	dedCfg := cfg
+	dedCfg.Core.Adapt = false
+	ded, err := Run(cluster.New(cluster.Uniform(4)), dedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cluster.New(loadedSpec(4, 3, 5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats[3].Removed {
+		t.Fatal("loaded node 3 was not removed")
+	}
+	if res.Checksum != ded.Checksum {
+		t.Fatalf("drop changed SOR results: %v vs %v", res.Checksum, ded.Checksum)
+	}
+}
+
+func TestLogicalDropPreservesValues(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Drop = core.DropLogical
+	dedCfg := cfg
+	dedCfg.Core.Adapt = false
+	ded, err := Run(cluster.New(cluster.Uniform(4)), dedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cluster.New(loadedSpec(4, 3, 5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats[3].Removed {
+		t.Fatal("logical drop must keep the node")
+	}
+	if res.Checksum != ded.Checksum {
+		t.Fatalf("logical drop changed results: %v vs %v", res.Checksum, ded.Checksum)
+	}
+}
+
+func TestPhysicalDropBeatsLogicalAtScale(t *testing.T) {
+	// §2.2: "the performance difference between logical and physical
+	// dropping can be significant" — with many nodes and a comm-bound
+	// grid, keeping the loaded node in the ring is costly.
+	cfg := testConfig()
+	cfg.Rows, cfg.Cols = 96, 96
+	cfg.Iters = 150
+	cfg.CostPerElem = 2e3 // comm-bound per node at 8 nodes
+	// Three CPs present from t=0, visible at the monitor's first sample.
+	spec := cluster.Uniform(8).
+		With(cluster.TimeEvent(5, 0, +1)).
+		With(cluster.TimeEvent(5, 0, +1)).
+		With(cluster.TimeEvent(5, 0, +1))
+	phys := cfg
+	phys.Core.Drop = core.DropAlways
+	logi := cfg
+	logi.Core.Drop = core.DropLogical
+	rp, err := Run(cluster.New(spec), phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Run(cluster.New(spec), logi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Checksum != rl.Checksum {
+		t.Fatalf("drop modes disagree on results: %v vs %v", rp.Checksum, rl.Checksum)
+	}
+	if rp.Elapsed >= rl.Elapsed {
+		t.Fatalf("physical drop (%.3fs) not faster than logical (%.3fs) in comm-bound regime", rp.Elapsed, rl.Elapsed)
+	}
+}

@@ -1,0 +1,464 @@
+// Package cluster models a non dedicated cluster: a set of nodes with
+// (possibly different) CPU powers and memories, each time-shared between the
+// monitored parallel application and a scenario-driven set of competing
+// processes (CPs).
+//
+// The model is deliberately mechanistic rather than statistical. Each node
+// runs a quantum round-robin scheduler: the application consumes CPU in
+// slices of Quantum; whenever a slice boundary is crossed while k competing
+// processes are runnable, the wall clock additionally advances k*Quantum
+// (each CP receives its own slice). Two properties of real time-shared
+// systems that the Dyn-MPI paper depends on fall out of this directly:
+//
+//   - over long intervals the application receives a 1/(1+k) share of the
+//     CPU, so a node with one competing process computes half as fast, and
+//   - a *short* interval (an iteration shorter than the quantum) usually
+//     runs to completion inside the application's own slice, but
+//     occasionally absorbs a full k*Quantum "context-switch spike" — the
+//     exact noise that makes single-sample gethrtime measurements
+//     unreliable (paper §4.2, Figure 7).
+//
+// Process (/PROC-style) CPU time is tracked separately from wall time, so
+// the timing package can reproduce the paper's choice between the two
+// mechanisms.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vclock"
+)
+
+// NodeSpec describes the static properties of one node.
+type NodeSpec struct {
+	// Power is the node's relative CPU speed. A node of power p executes a
+	// reference cost c in c/p nanoseconds of its own CPU time.
+	Power float64
+	// MemBytes is the physical memory available to the application. Resident
+	// data beyond this spills to "disk" and is charged at DiskBandwidth.
+	// Zero means unlimited.
+	MemBytes int64
+}
+
+// NetParams describes the interconnect and memory-system cost model.
+//
+// A message of b bytes sent at time t becomes available to the receiver at
+// t' = t + Latency + b/BytesPerSec (wire component, unaffected by node
+// load). In addition the sender and receiver each spend
+// CPUPerMsg + b*CPUPerByte of CPU (reference cost) on the transfer; this
+// component *is* inflated by competing processes, which is precisely why
+// relative-power distributions are suboptimal (paper §4.3).
+type NetParams struct {
+	Latency       vclock.Duration
+	BytesPerSec   float64
+	CPUPerMsg     vclock.Duration
+	CPUPerByte    float64 // reference CPU ns per byte, charged to each side
+	MemBandwidth  float64 // bytes/sec for local memcpy (allocation model)
+	DiskBandwidth float64 // bytes/sec once resident data exceeds MemBytes
+}
+
+// DefaultNet returns parameters resembling the paper's testbed: switched
+// 100 Mb/s Ethernet (≈12.5 MB/s, ~100 µs latency) with a per-byte CPU copy
+// cost and late-1990s memory bandwidth.
+func DefaultNet() NetParams {
+	return NetParams{
+		Latency:       100 * vclock.Microsecond,
+		BytesPerSec:   12.5e6,
+		CPUPerMsg:     30 * vclock.Microsecond,
+		CPUPerByte:    20, // ns/byte: 50 MB/s of CPU copy/checksum work per side
+		MemBandwidth:  400e6,
+		DiskBandwidth: 20e6,
+	}
+}
+
+// Event changes the number of competing processes on one node. Exactly one
+// of At / AtCycle selects the trigger: a virtual wall time, or a phase-cycle
+// index on that node (materialised when the application reports reaching the
+// cycle, matching "we introduce the competing process on the 10th
+// iteration" in the paper's experiments).
+type Event struct {
+	Node    int
+	Delta   int         // +1 to start a competing process, -1 to stop one
+	At      vclock.Time // used when AtCycle < 0
+	AtCycle int         // cycle-triggered when >= 0
+}
+
+// Spec is the full description of a simulated cluster run.
+type Spec struct {
+	Nodes   []NodeSpec
+	Events  []Event
+	Net     NetParams
+	Quantum vclock.Duration // scheduler timeslice; 0 means 10ms
+	Seed    uint64          // master seed for all derived PRNGs
+}
+
+// Uniform returns a Spec with n identical nodes of power 1.0, default
+// network parameters and no competing processes.
+func Uniform(n int) Spec {
+	nodes := make([]NodeSpec, n)
+	for i := range nodes {
+		nodes[i] = NodeSpec{Power: 1.0}
+	}
+	return Spec{Nodes: nodes, Net: DefaultNet(), Quantum: 10 * vclock.Millisecond, Seed: 1}
+}
+
+// TimeEvent builds a CP change triggered at a virtual wall time.
+func TimeEvent(node int, at vclock.Time, delta int) Event {
+	return Event{Node: node, Delta: delta, At: at, AtCycle: -1}
+}
+
+// CycleEvent builds a CP change triggered when the application on node
+// reports starting phase-cycle `cycle`.
+func CycleEvent(node, cycle, delta int) Event {
+	return Event{Node: node, Delta: delta, AtCycle: cycle}
+}
+
+// With returns a copy of s with extra events appended.
+func (s Spec) With(events ...Event) Spec {
+	out := s
+	out.Events = append(append([]Event(nil), s.Events...), events...)
+	return out
+}
+
+// segment is one piece of a node's piecewise-constant CP timeline.
+type segment struct {
+	start vclock.Time
+	count int
+}
+
+// Cluster is the shared, immutable-per-run state of a simulation. Node
+// handles (one per rank goroutine) mutate only their own fields, except for
+// the CP timeline which is guarded by each node owning its own timeline and
+// only its own goroutine appending to it (cycle-triggered events affect only
+// the node that reports the cycle).
+type Cluster struct {
+	spec    Spec
+	quantum vclock.Duration
+	nodes   []*Node
+}
+
+// New builds a cluster and its node handles from spec.
+func New(spec Spec) *Cluster {
+	if len(spec.Nodes) == 0 {
+		panic("cluster: no nodes")
+	}
+	q := spec.Quantum
+	if q == 0 {
+		q = 10 * vclock.Millisecond
+	}
+	if spec.Net.BytesPerSec == 0 {
+		spec.Net = DefaultNet()
+	}
+	c := &Cluster{spec: spec, quantum: q}
+	master := vclock.NewPRNG(spec.Seed)
+	c.nodes = make([]*Node, len(spec.Nodes))
+	for i, ns := range spec.Nodes {
+		if ns.Power <= 0 {
+			panic(fmt.Sprintf("cluster: node %d has non-positive power %v", i, ns.Power))
+		}
+		n := &Node{
+			id:    i,
+			power: ns.Power,
+			mem:   ns.MemBytes,
+			cl:    c,
+			rng:   master.Fork(uint64(i)),
+			segs:  []segment{{start: 0, count: 0}},
+		}
+		// Time-triggered events are known up front; install them sorted.
+		var evs []Event
+		for _, ev := range spec.Events {
+			if ev.Node == i {
+				if ev.AtCycle >= 0 {
+					n.pendingCycle = append(n.pendingCycle, ev)
+				} else {
+					evs = append(evs, ev)
+				}
+			}
+		}
+		sort.SliceStable(evs, func(a, b int) bool { return evs[a].At < evs[b].At })
+		for _, ev := range evs {
+			n.appendEvent(ev.At, ev.Delta)
+		}
+		c.nodes[i] = n
+	}
+	return c
+}
+
+// N reports the number of nodes.
+func (c *Cluster) N() int { return len(c.nodes) }
+
+// Node returns the handle for node id.
+func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
+
+// Net returns the interconnect parameters.
+func (c *Cluster) Net() NetParams { return c.spec.Net }
+
+// Quantum returns the scheduler timeslice.
+func (c *Cluster) Quantum() vclock.Duration { return c.quantum }
+
+// Powers returns the static relative powers of all nodes.
+func (c *Cluster) Powers() []float64 {
+	out := make([]float64, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.power
+	}
+	return out
+}
+
+// Node is one simulated machine as seen by the rank running on it. All
+// methods must be called only from that rank's goroutine.
+type Node struct {
+	id    int
+	power float64
+	mem   int64
+	cl    *Cluster
+	rng   *vclock.PRNG
+
+	clock     vclock.Clock
+	cpuUsed   vclock.Duration // application CPU time (the /PROC view)
+	sliceUsed vclock.Duration // CPU consumed in the current timeslice
+	curSlice  vclock.Duration // length of the current timeslice (jittered)
+	debt      vclock.Duration // CPU owed to competitors before the app runs again
+	resident  int64           // bytes of registered application data
+
+	segs         []segment // CP timeline, sorted by start
+	segIdx       int       // index of the segment containing the clock
+	pendingCycle []Event   // cycle-triggered events not yet materialised
+}
+
+// ID reports the node's index in the cluster.
+func (n *Node) ID() int { return n.id }
+
+// Power reports the node's static relative CPU speed.
+func (n *Node) Power() float64 { return n.power }
+
+// Now reports the node's current virtual wall time.
+func (n *Node) Now() vclock.Time { return n.clock.Now() }
+
+// CPUTime reports the application's accumulated CPU time on this node —
+// the quantity a /PROC read returns (before granularity quantisation, which
+// the timing package applies).
+func (n *Node) CPUTime() vclock.Duration { return n.cpuUsed }
+
+// RNG returns the node's deterministic random stream.
+func (n *Node) RNG() *vclock.PRNG { return n.rng }
+
+func (n *Node) appendEvent(at vclock.Time, delta int) {
+	last := n.segs[len(n.segs)-1]
+	if at < last.start {
+		panic(fmt.Sprintf("cluster: event at %v before last segment %v on node %d", at, last.start, n.id))
+	}
+	count := last.count + delta
+	if count < 0 {
+		panic(fmt.Sprintf("cluster: negative CP count on node %d at %v", n.id, at))
+	}
+	if at == last.start {
+		n.segs[len(n.segs)-1].count = count
+		return
+	}
+	n.segs = append(n.segs, segment{start: at, count: count})
+}
+
+// OnCycle reports that the application on this node is starting phase-cycle
+// `cycle`; any CP events scheduled for that cycle take effect now.
+func (n *Node) OnCycle(cycle int) {
+	kept := n.pendingCycle[:0]
+	for _, ev := range n.pendingCycle {
+		if ev.AtCycle == cycle {
+			n.appendEvent(n.clock.Now(), ev.Delta)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	n.pendingCycle = kept
+}
+
+// cpAt returns the competing-process count in effect at time t, advancing
+// the cached segment index (t must be >= the last query, which holds because
+// callers query at the monotone node clock).
+func (n *Node) cpAt(t vclock.Time) int {
+	for n.segIdx+1 < len(n.segs) && n.segs[n.segIdx+1].start <= t {
+		n.segIdx++
+	}
+	return n.segs[n.segIdx].count
+}
+
+// nextChangeAfter returns the time of the next CP change strictly after t,
+// or ok=false if the timeline is constant from t on.
+func (n *Node) nextChangeAfter(t vclock.Time) (vclock.Time, bool) {
+	for i := n.segIdx; i < len(n.segs); i++ {
+		if n.segs[i].start > t {
+			return n.segs[i].start, true
+		}
+	}
+	return 0, false
+}
+
+// CPCount reports the number of competing processes runnable right now.
+// This is the ground truth; the load monitor adds sampling delay on top.
+func (n *Node) CPCount() int { return n.cpAt(n.clock.Now()) }
+
+// CPCountAt reports the competing-process count at an arbitrary time t
+// without advancing the cache. Used by the load monitor's sampling model.
+func (n *Node) CPCountAt(t vclock.Time) int {
+	idx := sort.Search(len(n.segs), func(i int) bool { return n.segs[i].start > t }) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return n.segs[idx].count
+}
+
+// nextSliceLen returns the length of a fresh timeslice: uniform in
+// [0.5q, 1.5q] (mean q), deterministically drawn from the node's PRNG.
+// Real schedulers do not preempt on an exact period — timeslices depend on
+// dynamic priorities, timer skew and unrelated wakeups — and the variation
+// matters here: it is what moves context-switch spikes onto *different*
+// iterations in different phase cycles, which the paper's
+// min-over-grace-period filter depends on. The long-run CPU share is
+// unaffected (the mean slice is exactly q).
+func (n *Node) nextSliceLen() vclock.Duration {
+	q := n.cl.quantum
+	return q/2 + vclock.Duration(n.rng.Float64()*float64(q))
+}
+
+// Compute executes `cost` of reference CPU work on this node, advancing the
+// wall clock according to the round-robin model and accumulating /PROC CPU
+// time. It returns the wall duration that elapsed.
+func (n *Node) Compute(cost vclock.Duration) vclock.Duration {
+	if cost < 0 {
+		panic("cluster: negative compute cost")
+	}
+	start := n.clock.Now()
+	need := vclock.Duration(float64(cost) / n.power) // node CPU time required
+	q := n.cl.quantum
+	for need > 0 {
+		if n.debt > 0 {
+			// A slice boundary was crossed: each competing process receives
+			// its timeslice before the application runs again. Wall time the
+			// application spent blocked has already serviced part of this
+			// debt (see WaitUntil); the remainder is paid here. The CP count
+			// may change during the delay; advanceLoaded charges piecewise
+			// and stops early if every competitor exits.
+			d := n.debt
+			n.debt = 0
+			n.advanceLoaded(d)
+		}
+		if n.curSlice == 0 {
+			n.curSlice = n.nextSliceLen()
+		}
+		run := n.curSlice - n.sliceUsed
+		if need < run {
+			run = need
+		}
+		// While the app runs, wall time passes 1:1 with its CPU time; a CP
+		// change mid-run only matters at the next slice boundary, so no
+		// further splitting is needed here.
+		n.clock.Advance(run)
+		n.cpuUsed += run
+		n.sliceUsed += run
+		need -= run
+		if n.sliceUsed >= n.curSlice {
+			n.sliceUsed = 0
+			n.curSlice = 0
+			if k := n.cpAt(n.clock.Now()); k > 0 {
+				n.debt += vclock.Duration(k) * q
+			}
+		}
+	}
+	return n.clock.Now().Sub(start)
+}
+
+// advanceLoaded advances the wall clock by d of "other processes running"
+// time, re-reading the CP count across timeline changes. A CP stop during
+// the delay truncates it proportionally.
+func (n *Node) advanceLoaded(d vclock.Duration) {
+	for d > 0 {
+		now := n.clock.Now()
+		k := n.cpAt(now)
+		if k == 0 {
+			return // all competitors vanished; app resumes immediately
+		}
+		step := d
+		if next, ok := n.nextChangeAfter(now); ok {
+			if until := next.Sub(now); until < step {
+				step = until
+			}
+		}
+		n.clock.Advance(step)
+		d -= step
+	}
+}
+
+// WaitUntil blocks the application until virtual time t (e.g. waiting for a
+// message). The scheduling quota persists across short sleeps (the
+// epoch-based accounting of 2.4-era schedulers), but wall time spent
+// blocked services any outstanding competitor debt: if the application
+// sleeps long enough for every competitor to receive its slice, it resumes
+// immediately on wake.
+//
+// Independently, if competing processes are runnable when the application
+// becomes ready, it occasionally does not run immediately: a CPU-bound
+// competitor holds the processor until the next scheduler tick. This
+// wakeup latency is the mechanism that makes a loaded node poison every
+// communication step it participates in — the reason physical node removal
+// beats logical dropping (§2.2) and the reason dropping wins as the
+// computation/communication ratio shrinks (§5.3).
+func (n *Node) WaitUntil(t vclock.Time) {
+	if t <= n.clock.Now() {
+		return
+	}
+	waited := t.Sub(n.clock.Now())
+	n.clock.AdvanceTo(t)
+	if waited >= n.debt {
+		n.debt = 0
+	} else {
+		n.debt -= waited
+	}
+	if k := n.cpAt(n.clock.Now()); k > 0 {
+		// A waking sleeper usually preempts a CPU-bound competitor at once
+		// (its dynamic priority is boosted), but when its scheduling quota
+		// is exhausted it must wait out the hog's timeslice. Each runnable
+		// competitor adds an independent chance of hitting that window.
+		if n.rng.Float64() < wakeDelayProb*float64(k) {
+			n.clock.Advance(vclock.Duration(n.rng.Float64() * float64(n.cl.quantum)))
+		}
+	}
+}
+
+// wakeDelayProb is the per-competitor probability that a wakeup finds the
+// application out of scheduling quota and stuck behind a full competitor
+// timeslice. Calibrated so that keeping a loaded node is profitable on
+// small clusters but increasingly poisonous as the per-node compute share
+// shrinks — the paper's Figure 6 crossover.
+const wakeDelayProb = 0.01
+
+// --- memory cost model -------------------------------------------------
+
+// ChargeTouch charges the cost of writing (or copying into) `bytes` of
+// memory: bytes/MemBandwidth of CPU, plus a disk penalty for the fraction of
+// resident data beyond physical memory. Used by the allocator comparison.
+func (n *Node) ChargeTouch(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	net := n.cl.spec.Net
+	cost := vclock.FromSeconds(float64(bytes) / net.MemBandwidth)
+	if n.mem > 0 && n.resident > n.mem {
+		over := float64(n.resident-n.mem) / float64(n.resident)
+		cost += vclock.FromSeconds(over * float64(bytes) / net.DiskBandwidth)
+	}
+	n.Compute(vclock.Duration(float64(cost) * n.power)) // cost is wall-ish; express as reference
+}
+
+// AdjustResident records allocation (positive) or release (negative) of
+// application data bytes, for the paging model.
+func (n *Node) AdjustResident(delta int64) {
+	n.resident += delta
+	if n.resident < 0 {
+		n.resident = 0
+	}
+}
+
+// Resident reports currently registered application data bytes.
+func (n *Node) Resident() int64 { return n.resident }

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+func TestMultipleEventsSameCycle(t *testing.T) {
+	spec := Uniform(1).
+		With(CycleEvent(0, 2, +1)).
+		With(CycleEvent(0, 2, +1)).
+		With(CycleEvent(0, 5, -1))
+	n := New(spec).Node(0)
+	n.OnCycle(0)
+	n.OnCycle(1)
+	if n.CPCount() != 0 {
+		t.Fatal("early CPs")
+	}
+	n.Compute(sec(0.1))
+	n.OnCycle(2)
+	if n.CPCount() != 2 {
+		t.Fatalf("CPCount = %d, want 2 (both events at cycle 2)", n.CPCount())
+	}
+	n.Compute(sec(0.1))
+	n.OnCycle(5)
+	if n.CPCount() != 1 {
+		t.Fatalf("CPCount = %d after one stop", n.CPCount())
+	}
+}
+
+func TestEventsIndependentAcrossNodes(t *testing.T) {
+	spec := Uniform(3).
+		With(TimeEvent(1, 0, +2)).
+		With(TimeEvent(2, vclock.Time(vclock.Second), +1))
+	cl := New(spec)
+	if cl.Node(0).CPCount() != 0 {
+		t.Fatal("node 0 contaminated")
+	}
+	if cl.Node(1).CPCount() != 2 {
+		t.Fatal("node 1 missing CPs")
+	}
+	n2 := cl.Node(2)
+	if n2.CPCount() != 0 {
+		t.Fatal("node 2 early CP")
+	}
+	n2.WaitUntil(vclock.Time(2 * vclock.Second))
+	if n2.CPCount() != 1 {
+		t.Fatal("node 2 missing CP")
+	}
+}
+
+func TestUnsortedTimeEventsAreSorted(t *testing.T) {
+	spec := Uniform(1).
+		With(TimeEvent(0, vclock.Time(2*vclock.Second), -1)).
+		With(TimeEvent(0, vclock.Time(vclock.Second), +1))
+	n := New(spec).Node(0)
+	if n.CPCountAt(vclock.Time(1500*vclock.Millisecond)) != 1 {
+		t.Fatal("mid-window count")
+	}
+	if n.CPCountAt(vclock.Time(3*vclock.Second)) != 0 {
+		t.Fatal("post-stop count")
+	}
+}
+
+func TestCycleEventForWrongCycleStaysPending(t *testing.T) {
+	spec := Uniform(1).With(CycleEvent(0, 7, +1))
+	n := New(spec).Node(0)
+	for c := 0; c < 7; c++ {
+		n.OnCycle(c)
+	}
+	if n.CPCount() != 0 {
+		t.Fatal("fired early")
+	}
+	n.OnCycle(7)
+	if n.CPCount() != 1 {
+		t.Fatal("did not fire at its cycle")
+	}
+	// Re-announcing the same cycle must not double-fire.
+	n.OnCycle(7)
+	if n.CPCount() != 1 {
+		t.Fatal("double fired")
+	}
+}
+
+func TestComputeReturnsElapsedWall(t *testing.T) {
+	n := New(Uniform(1)).Node(0)
+	before := n.Now()
+	w := n.Compute(sec(0.25))
+	if n.Now().Sub(before) != w {
+		t.Fatal("Compute return value disagrees with clock movement")
+	}
+}
+
+func TestZeroComputeIsFree(t *testing.T) {
+	spec := Uniform(1).With(TimeEvent(0, 0, +3))
+	n := New(spec).Node(0)
+	if w := n.Compute(0); w != 0 {
+		t.Fatalf("zero compute took %v", w)
+	}
+}
+
+func TestPowerScalesCPUNotWire(t *testing.T) {
+	// A power-2 node consumes half the CPU time for the same reference
+	// cost; /PROC reflects its own CPU seconds.
+	spec := Uniform(2)
+	spec.Nodes[1].Power = 2
+	cl := New(spec)
+	cl.Node(0).Compute(sec(1))
+	cl.Node(1).Compute(sec(1))
+	if cl.Node(0).CPUTime() != sec(1) || cl.Node(1).CPUTime() != sec(0.5) {
+		t.Fatalf("CPU times %v %v", cl.Node(0).CPUTime(), cl.Node(1).CPUTime())
+	}
+}

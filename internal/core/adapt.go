@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/distribution"
+	"repro/internal/drsd"
+	"repro/internal/loadmon"
+	"repro/internal/timing"
+)
+
+// BeginCycle opens one phase cycle: it materialises scenario events, runs
+// the per-cycle load check (§4.2: "check system load at every phase cycle")
+// and drives the adaptation state machine — grace-period measurement,
+// redistribution, and the drop decision. It reports whether this rank
+// participates in the cycle.
+func (rt *Runtime) BeginCycle() bool {
+	rt.ensureCommitted()
+	rt.node.OnCycle(rt.cycle)
+	if rt.isOut {
+		rt.removedCycle()
+		return !rt.isOut // true exactly when this node just rejoined
+	}
+	if !rt.cfg.Adapt {
+		return true
+	}
+
+	loads, removedRanks, removedLoads := rt.exchangeLoads()
+	if rt.maybeRejoin(loads, removedRanks, removedLoads) {
+		// Membership changed this cycle; the state machine resumes on the
+		// fresh baseline next cycle.
+		return true
+	}
+
+	switch rt.state {
+	case stNormal:
+		if loadmon.Changed(rt.baseLoads, loads) && (rt.cfg.MaxRedists == 0 || rt.redists < rt.cfg.MaxRedists) {
+			rt.enterGrace(loads)
+		}
+	case stGrace:
+		if loadmon.Changed(rt.graceLoads, loads) {
+			rt.enterGrace(loads) // load moved again: restart the measurement
+		} else if rt.collector.Cycles() >= rt.cfg.GracePeriod {
+			rt.decideRedistribution(loads)
+		}
+	case stPost:
+		if rt.cycTimer.Cycles() >= rt.cfg.PostRedistGrace {
+			rt.maybeDrop(loads)
+		} else {
+			rt.cycTimer.Begin()
+			rt.cycOpen = true
+		}
+	}
+	return !rt.isOut
+}
+
+// EndCycle closes the phase cycle, feeding whichever measurement window is
+// active.
+func (rt *Runtime) EndCycle() {
+	if rt.isOut {
+		rt.cycle++
+		return
+	}
+	if rt.collector != nil {
+		rt.collector.EndCycle()
+	}
+	if rt.cycTimer != nil && rt.cycOpen {
+		rt.cycTimer.End()
+		rt.cycOpen = false
+	}
+	rt.cycle++
+}
+
+// enterGrace starts (or restarts) the grace period: the application keeps
+// running on the old distribution while per-iteration unloaded times and
+// per-cycle communication are measured.
+func (rt *Runtime) enterGrace(loads []int) {
+	rt.record(EvLoadChange, 0, fmt.Sprintf("loads=%v", loads))
+	rt.state = stGrace
+	rt.graceLoads = append([]int(nil), loads...)
+	lo, hi := rt.dist.RangeOf(rt.comm.Rank())
+	rt.collector = timing.NewCollector(rt.node, lo, hi)
+	rt.graceMsgs0 = rt.comm.SentMsgs + rt.comm.RecvMsgs
+	rt.graceBytes0 = rt.comm.SentBytes + rt.comm.RecvBytes
+	rt.graceStart = rt.node.Now()
+	rt.cycTimer = nil
+}
+
+// measureComm converts the traffic accumulated since grace start into
+// per-cycle communication costs (CPU seconds and wire seconds per node),
+// reduced to the cluster-wide maximum so every rank uses the same value.
+func (rt *Runtime) measureComm(cycles int) (commCPU, commWire float64) {
+	net := rt.comm.World().Cluster().Net()
+	msgs := float64(rt.comm.SentMsgs + rt.comm.RecvMsgs - rt.graceMsgs0)
+	bytes := float64(rt.comm.SentBytes + rt.comm.RecvBytes - rt.graceBytes0)
+	per := 1.0 / float64(cycles)
+	cpu := (msgs*net.CPUPerMsg.Seconds() + bytes*net.CPUPerByte/1e9) * per
+	wire := (msgs/2*net.Latency.Seconds() + bytes/2/net.BytesPerSec) * per
+	out := rt.comm.AllreduceF64s(rt.group, []float64{cpu, wire}, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	return out[0], out[1]
+}
+
+// gatherEstimates assembles the global per-iteration cost vector from every
+// active rank's grace-period collector.
+func (rt *Runtime) gatherEstimates() []float64 {
+	lo, _ := rt.collector.Range()
+	type chunk struct {
+		Lo  int
+		Est []float64
+	}
+	est := rt.collector.Estimates()
+	parts := rt.comm.Allgather(rt.group, chunk{Lo: lo, Est: est}, 8*len(est)+8)
+	out := make([]float64, rt.n)
+	for _, p := range parts {
+		c := p.(chunk)
+		copy(out[c.Lo:], c.Est)
+	}
+	return out
+}
+
+// decideRedistribution computes and executes a new distribution from the
+// grace-period measurements (§4.3 + §4.4).
+func (rt *Runtime) decideRedistribution(loads []int) {
+	iterCosts := rt.gatherEstimates()
+	commCPU, commWire := rt.measureComm(rt.collector.Cycles())
+	rt.collector = nil
+	rt.iterCosts = iterCosts
+	rt.commCPU, rt.commWire = commCPU, commWire
+	nodes := rt.nodesFromLoads(loads)
+
+	anyLoaded, anyUnloaded := false, false
+	for _, l := range loads {
+		if l > 0 {
+			anyLoaded = true
+		} else {
+			anyUnloaded = true
+		}
+	}
+
+	if rt.cfg.Drop == DropAlways && anyLoaded && anyUnloaded {
+		rt.baseLoads = append([]int(nil), loads...)
+		rt.dropLoaded(nodes, iterCosts)
+		rt.state = stNormal
+		return
+	}
+	if rt.cfg.Drop == DropLogical && anyLoaded && anyUnloaded {
+		rt.logicalDrop(nodes, iterCosts)
+		rt.baseLoads = append([]int(nil), loads...)
+		rt.state = stNormal
+		return
+	}
+
+	var total float64
+	for _, w := range iterCosts {
+		total += w
+	}
+	var fractions []float64
+	switch rt.cfg.Method {
+	case RelativePower:
+		fractions = distribution.RelativePowerFractions(nodes)
+	default:
+		fractions = distribution.SuccessiveBalancingFractions(nodes, total, commCPU, rt.cfg.Model)
+	}
+	counts := distribution.PartitionWeighted(iterCosts, fractions)
+	rt.applyDistribution(drsd.NewBlock(rt.active, counts))
+	rt.baseLoads = append([]int(nil), loads...)
+	rt.redists++
+
+	if rt.cfg.Drop == DropAuto && anyLoaded && anyUnloaded {
+		rt.state = stPost
+		rt.cycTimer = timing.NewCycleTimer(rt.node)
+		rt.cycTimer.Begin() // covers the remainder of this (post-redist) cycle
+		rt.cycOpen = true
+	} else {
+		rt.state = stNormal
+	}
+}
+
+// maybeDrop applies the paper's drop criterion after the
+// post-redistribution grace period.
+func (rt *Runtime) maybeDrop(loads []int) {
+	measured := rt.comm.AllreduceMax(rt.group, rt.cycTimer.Average())
+	rt.cycTimer = nil
+	rt.state = stNormal
+	nodes := rt.nodesFromLoads(loads)
+	drop, predicted := distribution.DropDecision(nodes, rt.iterCosts, measured, rt.commCPU, rt.commWire)
+	if !drop {
+		rt.record(EvDrop, 0, fmt.Sprintf("kept: measured=%.4fs predicted=%.4fs", measured, predicted))
+		return
+	}
+	rt.record(EvDrop, 0, fmt.Sprintf("dropping: measured=%.4fs predicted=%.4fs", measured, predicted))
+	rt.baseLoads = append([]int(nil), loads...)
+	rt.dropLoaded(nodes, rt.iterCosts)
+}
+
+// dropLoaded physically removes every loaded node: data moves to the
+// unloaded nodes, the collective group shrinks, relative ranks are
+// re-assigned, and removed ranks switch to the send-out-only protocol.
+func (rt *Runtime) dropLoaded(nodes []distribution.Node, iterCosts []float64) {
+	var stay, out []int
+	var stayNodes []distribution.Node
+	for _, n := range nodes {
+		// With rejoin enabled the send-out root is pinned: removed nodes
+		// poll it every cycle, so it must stay alive and addressable.
+		pinned := rt.cfg.AllowRejoin && n.Rank == rt.sendOutRoot()
+		if n.Load == 0 || pinned {
+			stay = append(stay, n.Rank)
+			stayNodes = append(stayNodes, n)
+		} else {
+			out = append(out, n.Rank)
+		}
+	}
+	if len(stay) == 0 || len(out) == 0 {
+		return
+	}
+	fractions := distribution.RelativePowerFractions(stayNodes)
+	counts := distribution.PartitionWeighted(iterCosts, fractions)
+	newDist := drsd.NewBlock(stay, counts)
+	// The removal redistribution happens while the dropped nodes are still
+	// in the group, so they can ship their rows out.
+	rt.applyDistribution(newDist)
+	rt.redists++
+
+	rt.active = stay
+	rt.removed = append(rt.removed, out...)
+	rt.group = rt.comm.World().NewGroup(stay)
+	newBase := make([]int, len(stay))
+	rt.baseLoads = newBase // unloaded by construction
+	me := rt.comm.Rank()
+	for _, r := range out {
+		if r == me {
+			rt.isOut = true
+			rt.record(EvRemoved, 0, "")
+		}
+	}
+	if !rt.isOut {
+		rt.record(EvDrop, 0, fmt.Sprintf("active=%v removed=%v", stay, out))
+	}
+}
+
+// logicalDrop keeps loaded nodes in the computation with a minimum
+// assignment (one iteration each), the §2.2 alternative to physical
+// removal: ranks stay static, but the loaded nodes continue to slow down
+// every communication step they appear in.
+func (rt *Runtime) logicalDrop(nodes []distribution.Node, iterCosts []float64) {
+	var stayNodes []distribution.Node
+	loadedIdx := map[int]bool{}
+	for i, n := range nodes {
+		if n.Load == 0 {
+			stayNodes = append(stayNodes, n)
+		} else {
+			loadedIdx[i] = true
+		}
+	}
+	// Give each loaded node exactly one iteration; split the rest across
+	// unloaded nodes by relative power. (Weighting uses a prefix of the
+	// iteration costs, exact for uniform workloads — the regime in which
+	// logical dropping is compared against physical dropping.)
+	counts := make([]int, len(nodes))
+	remaining := rt.n - len(loadedIdx)
+	fractions := distribution.RelativePowerFractions(stayNodes)
+	sub := distribution.PartitionWeighted(iterCosts[:remaining], fractions)
+	j := 0
+	for i := range nodes {
+		if loadedIdx[i] {
+			counts[i] = 1
+		} else {
+			counts[i] = sub[j]
+			j++
+		}
+	}
+	// Fix rounding: counts must sum to n.
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	counts[len(counts)-1] += rt.n - sum
+	rt.applyDistribution(drsd.NewBlock(rt.active, counts))
+	rt.redists++
+	rt.record(EvLogicalDrop, 0, fmt.Sprintf("counts=%v", counts))
+	rt.state = stNormal
+}

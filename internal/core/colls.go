@@ -1,0 +1,93 @@
+package core
+
+import (
+	"repro/internal/mpi"
+)
+
+// This file implements the paper's modified global communication routines
+// (§4.4): physically removed nodes "do not participate in the send-in
+// phase, but do participate in the send-out" — they contribute nothing to
+// reductions, but still receive results (convergence flags, termination
+// notices) so their global state stays current.
+
+// sendOutRoot is the active rank responsible for forwarding global results
+// to removed nodes.
+func (rt *Runtime) sendOutRoot() int { return rt.active[0] }
+
+// sendOut forwards a global result to every removed rank (called by the
+// send-out root only).
+func (rt *Runtime) sendOut(v []float64) {
+	if rt.comm.Rank() != rt.sendOutRoot() {
+		return
+	}
+	for _, r := range rt.removed {
+		rt.comm.Send(r, tagGlobal, v, mpi.F64Bytes(len(v)))
+	}
+}
+
+// recvOut receives the next global result on a removed rank.
+func (rt *Runtime) recvOut() []float64 {
+	p, _ := rt.comm.Recv(rt.sendOutRoot(), tagGlobal)
+	return p.([]float64)
+}
+
+// AllreduceF64s reduces a vector across the active nodes; removed nodes
+// receive the result without contributing. Every rank — active or removed —
+// must call global operations in the same order.
+func (rt *Runtime) AllreduceF64s(vals []float64, op func(a, b float64) float64) []float64 {
+	if rt.isOut {
+		return rt.recvOut()
+	}
+	out := rt.comm.AllreduceF64s(rt.group, vals, op)
+	rt.sendOut(out)
+	return out
+}
+
+// AllreduceSum reduces one value by summation (send-out aware).
+func (rt *Runtime) AllreduceSum(v float64) float64 {
+	return rt.AllreduceF64s([]float64{v}, mpi.Sum)[0]
+}
+
+// AllreduceMax reduces one value by maximum (send-out aware).
+func (rt *Runtime) AllreduceMax(v float64) float64 {
+	return rt.AllreduceF64s([]float64{v}, mpi.Max)[0]
+}
+
+// BcastF64s distributes a vector from the active relative-rank root to all
+// nodes, including removed ones.
+func (rt *Runtime) BcastF64s(relRoot int, vals []float64) []float64 {
+	if rt.isOut {
+		return rt.recvOut()
+	}
+	root := rt.active[relRoot]
+	out := rt.comm.Bcast(rt.group, root, vals, mpi.F64Bytes(len(vals))).([]float64)
+	rt.sendOut(out)
+	return out
+}
+
+// Barrier synchronises the active nodes. Removed nodes pass through
+// immediately: the paper explicitly avoids "participating nodes being
+// delayed by removed nodes".
+func (rt *Runtime) Barrier() {
+	if rt.isOut {
+		return
+	}
+	rt.comm.Barrier(rt.group)
+}
+
+// Finalize completes the run: active nodes synchronise and the send-out
+// root notifies every removed node that the computation terminated
+// (removed nodes block here until that notice arrives).
+func (rt *Runtime) Finalize() {
+	rt.ensureCommitted()
+	if rt.isOut {
+		rt.comm.Recv(rt.sendOutRoot(), tagDone)
+		return
+	}
+	rt.comm.Barrier(rt.group)
+	if rt.comm.Rank() == rt.sendOutRoot() {
+		for _, r := range rt.removed {
+			rt.comm.Send(r, tagDone, nil, 0)
+		}
+	}
+}

@@ -1,0 +1,452 @@
+// Package core implements the Dyn-MPI runtime system — the paper's primary
+// contribution. It extends the message-passing substrate with:
+//
+//   - registration of redistributable dense and sparse arrays (§2.2, §4.1),
+//   - phases with deferred regular section descriptors describing every
+//     array reference in the partitioned loop (§2.2),
+//   - per-cycle load monitoring and grace-period timing (§4.2),
+//   - automatic selection of a new data distribution via successive
+//     balancing (§4.3) and its execution (§4.4), and
+//   - physical (and logical) removal of nodes whose participation degrades
+//     performance, with relative ranks and send-out-only collectives (§4.4).
+//
+// The programming model mirrors Figure 2 of the paper: the application
+// registers its arrays and accesses once, then asks the runtime for its
+// loop bounds every phase cycle, brackets each cycle with BeginCycle and
+// EndCycle, and communicates using relative ranks.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/distribution"
+	"repro/internal/drsd"
+	"repro/internal/loadmon"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+	"repro/internal/timing"
+	"repro/internal/vclock"
+)
+
+// Method selects the distribution algorithm.
+type Method int
+
+const (
+	// SuccessiveBalancing is the paper's algorithm (§4.3), the default.
+	SuccessiveBalancing Method = iota
+	// RelativePower is the naive baseline from prior work [2].
+	RelativePower
+)
+
+// DropPolicy controls node removal.
+type DropPolicy int
+
+const (
+	// DropAuto applies the paper's §4.4 decision: after the
+	// post-redistribution grace period, drop the loaded nodes if the
+	// predicted unloaded-only configuration beats the measured times.
+	DropAuto DropPolicy = iota
+	// DropNever disables node removal.
+	DropNever
+	// DropAlways physically removes every loaded node at the
+	// redistribution point (used by the Figure 6 "Drop" experiments).
+	DropAlways
+	// DropLogical is the §2.2 alternative to physical dropping: loaded
+	// nodes stay in the computation with a minimum assignment (one
+	// iteration), so ranks remain static but the nodes keep slowing down
+	// communication.
+	DropLogical
+)
+
+// Reserved tag space: user tags must stay below tagBase.
+const (
+	tagBase      = 1 << 20
+	tagRedist    = tagBase // + array registration index
+	tagGlobal    = tagBase + 512
+	tagDone      = tagBase + 513
+	tagPing      = tagBase + 514
+	tagLoadReply = tagBase + 515
+	tagRejoin    = tagBase + 516
+)
+
+// Config parameterises the runtime (the DMPI_init arguments plus the
+// tuning knobs the paper fixes at defaults).
+type Config struct {
+	// Adapt enables the Dyn-MPI machinery. False reproduces a plain MPI
+	// program: no monitoring, no redistribution, no overhead.
+	Adapt bool
+	// Method selects successive balancing (default) or relative power.
+	Method Method
+	// Drop selects the node-removal policy.
+	Drop DropPolicy
+	// GracePeriod is the number of phase cycles measured after a load
+	// change before redistributing (paper default 5).
+	GracePeriod int
+	// PostRedistGrace is the number of cycles monitored after a
+	// redistribution before the drop decision (paper default 10).
+	PostRedistGrace int
+	// MaxRedists caps the number of redistributions (0 = unlimited). The
+	// Figure 5 "Redist Once" configuration uses 1.
+	MaxRedists int
+	// Model is the pair model for successive balancing; nil selects the
+	// analytic model.
+	Model distribution.PairModel
+	// Alloc selects the dense allocation scheme (Projection by default;
+	// Contiguous reproduces the baseline of the §4.1 comparison).
+	Alloc matrix.Alloc
+	// AllowRejoin enables re-addition of physically removed nodes once
+	// their competing processes vanish (the capability §2.2 mentions and
+	// the paper leaves to future work). Removed nodes are polled once per
+	// phase cycle by the send-out root; a rejoin rebuilds the group and
+	// redistributes. With rejoin enabled the send-out root itself is never
+	// dropped, so removed nodes always have a live, fixed contact.
+	AllowRejoin bool
+}
+
+// DefaultConfig returns the paper's default configuration.
+func DefaultConfig() Config {
+	return Config{
+		Adapt:           true,
+		Method:          SuccessiveBalancing,
+		Drop:            DropAuto,
+		GracePeriod:     timing.DefaultGracePeriod,
+		PostRedistGrace: timing.DefaultPostRedistGrace,
+		Alloc:           matrix.Projection,
+	}
+}
+
+type adaptState int
+
+const (
+	stNormal adaptState = iota
+	stGrace
+	stPost
+)
+
+// regArray is one registered redistributable array.
+type regArray struct {
+	name     string
+	dense    *matrix.Dense
+	sparse   *matrix.Sparse
+	accesses []drsd.Access
+	index    int // tag offset
+}
+
+// EventKind labels trace events.
+type EventKind int
+
+const (
+	EvLoadChange EventKind = iota
+	EvRedistStart
+	EvRedistEnd
+	EvDrop
+	EvLogicalDrop
+	EvRemoved
+	EvRejoin
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvLoadChange:
+		return "load-change"
+	case EvRedistStart:
+		return "redist-start"
+	case EvRedistEnd:
+		return "redist-end"
+	case EvDrop:
+		return "drop"
+	case EvLogicalDrop:
+		return "logical-drop"
+	case EvRemoved:
+		return "removed"
+	case EvRejoin:
+		return "rejoin"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of the runtime's adaptation trace, used by the
+// experiment harness to reconstruct execution breakdowns (Figure 5).
+type Event struct {
+	Kind   EventKind
+	Cycle  int
+	Time   vclock.Time
+	Bytes  int64 // payload moved (redist-end)
+	Counts []int // iterations per active node (redist-end)
+	Info   string
+}
+
+// Runtime is one rank's Dyn-MPI runtime instance.
+type Runtime struct {
+	comm *mpi.Comm
+	node *cluster.Node
+	cfg  Config
+
+	n      int // distributed iteration space size
+	phases []*Phase
+	arrays map[string]*regArray
+	order  []string // array names in registration order
+
+	active  []int // active world ranks in relative-rank order
+	removed []int // removed world ranks
+	group   *mpi.Group
+	isOut   bool // this rank has been physically removed
+	dist    *drsd.Block
+	monitor *loadmon.Monitor
+
+	committed  bool
+	cycle      int
+	state      adaptState
+	baseLoads  []int // load vector underlying the current distribution
+	graceLoads []int
+	collector  *timing.Collector
+	cycTimer   *timing.CycleTimer
+	cycOpen    bool
+	iterCosts  []float64 // latest global per-iteration estimates
+	commCPU    float64   // measured per-node per-cycle comm CPU (s)
+	commWire   float64   // estimated per-node per-cycle wire time (s)
+	redists    int
+
+	graceMsgs0  int64 // counter snapshots at grace start
+	graceBytes0 int64
+	graceStart  vclock.Time
+
+	events []Event
+}
+
+// New creates the runtime for this rank (DMPI_init). All ranks of the
+// world participate initially.
+func New(comm *mpi.Comm, cfg Config) *Runtime {
+	if cfg.GracePeriod <= 0 {
+		cfg.GracePeriod = timing.DefaultGracePeriod
+	}
+	if cfg.PostRedistGrace <= 0 {
+		cfg.PostRedistGrace = timing.DefaultPostRedistGrace
+	}
+	active := make([]int, comm.Size())
+	for i := range active {
+		active[i] = i
+	}
+	return &Runtime{
+		comm:    comm,
+		node:    comm.Node(),
+		cfg:     cfg,
+		arrays:  make(map[string]*regArray),
+		active:  active,
+		group:   comm.World().AllGroup(),
+		monitor: loadmon.New(comm.Node()),
+	}
+}
+
+// Comm exposes the underlying communicator (world ranks).
+func (rt *Runtime) Comm() *mpi.Comm { return rt.comm }
+
+// Node exposes the cluster node this rank runs on.
+func (rt *Runtime) Node() *cluster.Node { return rt.node }
+
+// Config returns the runtime's configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// RegisterDense registers a redistributable dense array
+// (DMPI_register_dense_array). rowLen is the extended-row length: the
+// product of the non-distributed dimensions. rows must equal the phase
+// iteration space.
+func (rt *Runtime) RegisterDense(name string, rows, rowLen int) *matrix.Dense {
+	rt.checkRegistration(name, rows)
+	d := matrix.NewDense(name, rows, rowLen, rt.cfg.Alloc, rt.node)
+	rt.arrays[name] = &regArray{name: name, dense: d, index: len(rt.order)}
+	rt.order = append(rt.order, name)
+	return d
+}
+
+// RegisterSparse registers a redistributable sparse array
+// (DMPI_register_sparse_array) in the vector-of-lists format.
+func (rt *Runtime) RegisterSparse(name string, rows int) *matrix.Sparse {
+	rt.checkRegistration(name, rows)
+	s := matrix.NewSparse(name, rows, rt.node)
+	rt.arrays[name] = &regArray{name: name, sparse: s, index: len(rt.order)}
+	rt.order = append(rt.order, name)
+	return s
+}
+
+func (rt *Runtime) checkRegistration(name string, rows int) {
+	if rt.committed {
+		panic("core: arrays must be registered before the first cycle")
+	}
+	if _, dup := rt.arrays[name]; dup {
+		panic(fmt.Sprintf("core: array %q registered twice", name))
+	}
+	if rt.n != 0 && rows != rt.n {
+		panic(fmt.Sprintf("core: array %q has %d rows, phase space is %d", name, rows, rt.n))
+	}
+	if rt.n == 0 {
+		rt.n = rows
+	}
+}
+
+// Phase is one computation/communication section of the phase cycle
+// (DMPI_init_phase). All phases share the runtime's distribution.
+type Phase struct {
+	rt       *Runtime
+	accesses []drsd.Access
+}
+
+// InitPhase declares a phase over the distributed iteration space [0,n)
+// (DMPI_init_phase). All phases of a runtime must agree on n.
+func (rt *Runtime) InitPhase(n int) *Phase {
+	if rt.committed {
+		panic("core: phases must be declared before the first cycle")
+	}
+	if rt.n != 0 && n != rt.n {
+		panic(fmt.Sprintf("core: phase over %d iterations, space is %d", n, rt.n))
+	}
+	rt.n = n
+	ph := &Phase{rt: rt}
+	rt.phases = append(rt.phases, ph)
+	return ph
+}
+
+// AddAccess declares one array reference of the phase's partitioned loop
+// (DMPI_add_array_access): array[i*step + off] for loop variable i.
+func (ph *Phase) AddAccess(array string, mode drsd.Mode, step, off int) {
+	if ph.rt.committed {
+		panic("core: accesses must be declared before the first cycle")
+	}
+	a, ok := ph.rt.arrays[array]
+	if !ok {
+		panic(fmt.Sprintf("core: access to unregistered array %q", array))
+	}
+	acc := drsd.Access{Array: array, Mode: mode, Step: step, Off: off}
+	ph.accesses = append(ph.accesses, acc)
+	a.accesses = append(a.accesses, acc)
+}
+
+// Bounds returns this rank's current iteration range [lo,hi)
+// (DMPI_get_start_iter / DMPI_get_end_iter, half-open in Go style).
+func (ph *Phase) Bounds() (lo, hi int) {
+	ph.rt.ensureCommitted()
+	return ph.rt.dist.RangeOf(ph.rt.comm.Rank())
+}
+
+// Participating reports whether this rank is part of the computation
+// (DMPI_participating). It is false after physical removal.
+func (rt *Runtime) Participating() bool { return !rt.isOut }
+
+// RelRank returns this rank's relative rank among active nodes
+// (DMPI_get_rel_rank), or -1 if removed.
+func (rt *Runtime) RelRank() int {
+	for i, r := range rt.active {
+		if r == rt.comm.Rank() {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumActive reports the number of participating nodes (DMPI_get_num_active).
+func (rt *Runtime) NumActive() int { return len(rt.active) }
+
+// WorldRankOf maps a relative rank to a world rank.
+func (rt *Runtime) WorldRankOf(rel int) int { return rt.active[rel] }
+
+// SendRel sends to a relative rank (DMPI_Send).
+func (rt *Runtime) SendRel(relDst, tag int, payload any, bytes int) {
+	if tag >= tagBase {
+		panic("core: user tag collides with runtime tag space")
+	}
+	rt.comm.Send(rt.active[relDst], tag, payload, bytes)
+}
+
+// RecvRel receives from a relative rank (DMPI_Recv).
+func (rt *Runtime) RecvRel(relSrc, tag int) (any, mpi.Status) {
+	return rt.comm.Recv(rt.active[relSrc], tag)
+}
+
+// RecvRelF64s receives a []float64 from a relative rank.
+func (rt *Runtime) RecvRelF64s(relSrc, tag int) ([]float64, mpi.Status) {
+	p, st := rt.RecvRel(relSrc, tag)
+	return p.([]float64), st
+}
+
+// Compute charges unattributed computation (reference cost) to this node.
+func (rt *Runtime) Compute(cost vclock.Duration) { rt.node.Compute(cost) }
+
+// ComputeIter charges the computation of global iteration g, feeding the
+// grace-period collector when one is active. Applications call this once
+// per iteration of the partitioned loop.
+func (rt *Runtime) ComputeIter(g int, cost vclock.Duration) {
+	if rt.collector != nil {
+		rt.collector.BeginIter()
+		rt.node.Compute(cost)
+		rt.collector.EndIter(g)
+		return
+	}
+	rt.node.Compute(cost)
+}
+
+// Dist exposes the current distribution (for tests and the harness).
+func (rt *Runtime) Dist() *drsd.Block { return rt.dist }
+
+// Events returns the adaptation trace recorded by this rank.
+func (rt *Runtime) Events() []Event { return rt.events }
+
+// Redistributions reports how many redistributions have occurred.
+func (rt *Runtime) Redistributions() int { return rt.redists }
+
+func (rt *Runtime) record(kind EventKind, bytes int64, info string) {
+	rt.events = append(rt.events, Event{
+		Kind: kind, Cycle: rt.cycle, Time: rt.node.Now(), Bytes: bytes, Info: info,
+	})
+}
+
+// ensureCommitted materialises the initial distribution and array windows.
+func (rt *Runtime) ensureCommitted() {
+	if rt.committed {
+		return
+	}
+	if rt.n == 0 {
+		panic("core: no phase declared")
+	}
+	rt.committed = true
+	rt.dist = drsd.EqualBlock(rt.active, rt.n)
+	for _, name := range rt.order {
+		a := rt.arrays[name]
+		lo, hi := rt.dist.RangeOf(rt.comm.Rank())
+		wlo, whi := drsd.Window(a.accesses, lo, hi, rt.n)
+		if a.dense != nil {
+			a.dense.SetWindow(wlo, whi)
+		} else {
+			a.sparse.SetWindow(wlo, whi)
+		}
+	}
+	rt.baseLoads = make([]int, len(rt.active))
+}
+
+// Commit forces initialisation before the first cycle so the application
+// can fill its arrays (windows exist after this call).
+func (rt *Runtime) Commit() { rt.ensureCommitted() }
+
+func (rt *Runtime) powers() []float64 {
+	return rt.comm.World().Cluster().Powers()
+}
+
+// nodesFromLoads builds the balancer's view of the active nodes.
+func (rt *Runtime) nodesFromLoads(loads []int) []distribution.Node {
+	powers := rt.powers()
+	nodes := make([]distribution.Node, len(rt.active))
+	for i, r := range rt.active {
+		nodes[i] = distribution.Node{Rank: r, Power: powers[r], Load: loads[i]}
+	}
+	return nodes
+}
+
+// sortedArrayNames returns registration order (stable across ranks).
+func (rt *Runtime) sortedArrayNames() []string {
+	out := append([]string(nil), rt.order...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/drsd"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+	"repro/internal/vclock"
+)
+
+// TestMultiPhaseSharedDistribution declares two phases over the same
+// iteration space (SOR's red/black structure) and verifies both see the
+// same bounds across a redistribution.
+func TestMultiPhaseSharedDistribution(t *testing.T) {
+	const n = 48
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	spec := cpAtCycle(cluster.Uniform(3), 1, 3)
+	err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+		rt := New(c, cfg)
+		rt.RegisterDense("U", n, 2)
+		red := rt.InitPhase(n)
+		red.AddAccess("U", drsd.ReadWrite, 1, 0)
+		red.AddAccess("U", drsd.Read, 1, -1)
+		black := rt.InitPhase(n)
+		black.AddAccess("U", drsd.ReadWrite, 1, 0)
+		black.AddAccess("U", drsd.Read, 1, +1)
+		rt.Commit()
+		for tstep := 0; tstep < 25; tstep++ {
+			if rt.BeginCycle() {
+				rlo, rhi := red.Bounds()
+				blo, bhi := black.Bounds()
+				if rlo != blo || rhi != bhi {
+					return fmt.Errorf("phases disagree: [%d,%d) vs [%d,%d)", rlo, rhi, blo, bhi)
+				}
+				for g := rlo; g < rhi; g++ {
+					rt.ComputeIter(g, 5*vclock.Millisecond)
+					rt.ComputeIter(g, 5*vclock.Millisecond)
+				}
+			}
+			rt.EndCycle()
+		}
+		rt.Finalize()
+		if rt.Redistributions() == 0 {
+			return fmt.Errorf("no redistribution")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeterogeneousPowers verifies that after a load-triggered
+// redistribution, a 3x-power node receives roughly 3x the rows.
+func TestHeterogeneousPowers(t *testing.T) {
+	const n = 80
+	spec := cpAtCycle(cluster.Uniform(2), 0, 3)
+	spec.Nodes[1].Power = 3
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	results := runMini(t, spec, cfg, n, 30, false)
+	checkValuesAndCoverage(t, results, n)
+	counts := results[0].counts
+	if counts == nil {
+		counts = results[1].counts
+	}
+	// Node 0: power 1 with one CP (capacity ~0.5); node 1: power 3.
+	// Relative power gives ~1/7 vs ~6/7; successive balancing is close.
+	if counts[1] < counts[0]*4 {
+		t.Fatalf("power-3 node got %v, expected heavy skew", counts)
+	}
+}
+
+// TestGraceRestartsOnSecondLoadChange: a second CP arriving mid-grace must
+// restart the measurement rather than producing a distribution computed
+// from mixed baselines.
+func TestGraceRestartsOnSecondLoadChange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	cfg.GracePeriod = 8
+	spec := cluster.Uniform(3).
+		With(cluster.CycleEvent(1, 3, +1)).
+		With(cluster.CycleEvent(2, 14, +1))
+	results := runMini(t, spec, cfg, 48, 60, false)
+	checkValuesAndCoverage(t, results, 48)
+	loadChanges, redists := 0, 0
+	for _, ev := range results[0].events {
+		switch ev.Kind {
+		case EvLoadChange:
+			loadChanges++
+		case EvRedistEnd:
+			redists++
+		}
+	}
+	if loadChanges < 2 {
+		t.Fatalf("saw %d load changes, want 2 (grace restart)", loadChanges)
+	}
+	if redists == 0 {
+		t.Fatal("no redistribution after restarted grace")
+	}
+	// The final distribution reflects BOTH loads.
+	counts := results[0].counts
+	if counts[1] >= counts[0] || counts[2] >= counts[0] {
+		t.Fatalf("counts %v: both loaded nodes should trail the unloaded one", counts)
+	}
+}
+
+// TestBcastAndBarrierWithRemovedNodes exercises the remaining send-out
+// collectives under physical removal.
+func TestBcastAndBarrierWithRemovedNodes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropAlways
+	spec := cpAtCycle(cluster.Uniform(3), 2, 2)
+	var mu sync.Mutex
+	got := map[int][]float64{}
+	err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+		rt := New(c, cfg)
+		x := rt.RegisterDense("X", 30, 1)
+		ph := rt.InitPhase(30)
+		ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+		rt.Commit()
+		x.Fill(func(g, j int) float64 { return 0 })
+		var lastBcast []float64
+		for tstep := 0; tstep < 25; tstep++ {
+			if rt.BeginCycle() {
+				lo, hi := ph.Bounds()
+				for g := lo; g < hi; g++ {
+					rt.ComputeIter(g, 10*vclock.Millisecond)
+				}
+			}
+			rt.Barrier()
+			lastBcast = rt.BcastF64s(0, []float64{float64(tstep), 42})
+			rt.EndCycle()
+		}
+		rt.Finalize()
+		mu.Lock()
+		got[c.Rank()] = lastBcast
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		v := got[r]
+		if len(v) != 2 || v[0] != 24 || v[1] != 42 {
+			t.Fatalf("rank %d final bcast %v", r, v)
+		}
+	}
+}
+
+// TestPagingSlowsContiguousRedistribution: with tight node memory, the
+// contiguous allocator's full reallocation spills to disk and the
+// redistribution takes longer in virtual time than with projection.
+func TestPagingSlowsContiguousRedistribution(t *testing.T) {
+	elapsed := func(scheme matrix.Alloc) float64 {
+		const n = 256
+		spec := cpAtCycle(cluster.Uniform(2), 0, 3)
+		for i := range spec.Nodes {
+			spec.Nodes[i].MemBytes = 1 << 20 // 1 MiB: half the array already overflows
+		}
+		cfg := DefaultConfig()
+		cfg.Drop = DropNever
+		cfg.Alloc = scheme
+		var worstRedist vclock.Duration
+		var mu sync.Mutex
+		err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+			rt := New(c, cfg)
+			x := rt.RegisterDense("X", n, 512) // 4KB rows; half-array > 1MiB
+			ph := rt.InitPhase(n)
+			ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+			rt.Commit()
+			x.Fill(func(g, j int) float64 { return 1 })
+			for tstep := 0; tstep < 20; tstep++ {
+				if rt.BeginCycle() {
+					lo, hi := ph.Bounds()
+					for g := lo; g < hi; g++ {
+						rt.ComputeIter(g, vclock.Millisecond)
+					}
+				}
+				rt.EndCycle()
+			}
+			rt.Finalize()
+			var start vclock.Time
+			var dur vclock.Duration
+			for _, ev := range rt.Events() {
+				switch ev.Kind {
+				case EvRedistStart:
+					start = ev.Time
+				case EvRedistEnd:
+					dur += ev.Time.Sub(start)
+				}
+			}
+			mu.Lock()
+			if dur > worstRedist {
+				worstRedist = dur
+			}
+			mu.Unlock()
+			if rt.Redistributions() == 0 {
+				return fmt.Errorf("no redistribution")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return worstRedist.Seconds()
+	}
+	proj := elapsed(matrix.Projection)
+	contig := elapsed(matrix.Contiguous)
+	if contig <= proj {
+		t.Fatalf("paging contiguous run (%.3fs) not slower than projection (%.3fs)", contig, proj)
+	}
+}

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/drsd"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+	"repro/internal/vclock"
+)
+
+// iterCost is sized so that phase cycles are long enough for the load
+// monitor's 1-second sampling delay to detect mid-run CP changes within a
+// modest number of cycles.
+const iterCost = 10 * vclock.Millisecond
+
+// miniResult captures one rank's final state for cross-rank assertions.
+type miniResult struct {
+	rank     int
+	redists  int
+	removed  bool
+	counts   []int
+	events   []Event
+	ownedOK  bool
+	ownedCnt int
+	final    vclock.Time
+	relRank  int
+	globals  []float64
+}
+
+// runMini executes a synthetic workload: one dense array of N rows; every
+// cycle each owned row is incremented (real data) and, when withGlobal is
+// set, a global sum is reduced. Returns per-rank results.
+func runMini(t *testing.T, spec cluster.Spec, cfg Config, n, cycles int, withGlobal bool) map[int]*miniResult {
+	t.Helper()
+	var mu sync.Mutex
+	results := map[int]*miniResult{}
+	err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+		rt := New(c, cfg)
+		x := rt.RegisterDense("X", n, 4)
+		ph := rt.InitPhase(n)
+		ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+		rt.Commit()
+		x.Fill(func(g, j int) float64 { return float64(g * 10) })
+
+		res := &miniResult{rank: c.Rank()}
+		for tstep := 0; tstep < cycles; tstep++ {
+			if rt.BeginCycle() {
+				lo, hi := ph.Bounds()
+				for g := lo; g < hi; g++ {
+					row := x.Row(g)
+					for j := range row {
+						row[j]++
+					}
+					rt.ComputeIter(g, iterCost)
+				}
+			}
+			if withGlobal {
+				lo, hi := 0, 0
+				if rt.Participating() {
+					lo, hi = ph.Bounds()
+				}
+				local := 0.0
+				for g := lo; g < hi; g++ {
+					local += x.Row(g)[0]
+				}
+				res.globals = append(res.globals, rt.AllreduceSum(local))
+			}
+			rt.EndCycle()
+		}
+		rt.Finalize()
+
+		res.redists = rt.Redistributions()
+		res.removed = !rt.Participating()
+		res.events = rt.Events()
+		res.final = c.Now()
+		res.relRank = rt.RelRank()
+		if rt.Participating() {
+			res.counts = rt.Dist().Counts()
+			lo, hi := ph.Bounds()
+			res.ownedOK = true
+			res.ownedCnt = hi - lo
+			for g := lo; g < hi; g++ {
+				for j := 0; j < 4; j++ {
+					if x.Row(g)[j] != float64(g*10+cycles) {
+						res.ownedOK = false
+					}
+				}
+			}
+		}
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func cpAtCycle(spec cluster.Spec, node, cycle int) cluster.Spec {
+	return spec.With(cluster.CycleEvent(node, cycle, +1))
+}
+
+func checkValuesAndCoverage(t *testing.T, results map[int]*miniResult, n int) {
+	t.Helper()
+	total := 0
+	for r, res := range results {
+		if res.removed {
+			continue
+		}
+		if !res.ownedOK {
+			t.Errorf("rank %d: owned rows corrupted after redistribution", r)
+		}
+		total += res.ownedCnt
+	}
+	if total != n {
+		t.Errorf("owned rows cover %d of %d", total, n)
+	}
+}
+
+func TestNoLoadNoRedistribution(t *testing.T) {
+	cfg := DefaultConfig()
+	results := runMini(t, cluster.Uniform(4), cfg, 64, 12, false)
+	for r, res := range results {
+		if res.redists != 0 {
+			t.Errorf("rank %d: %d redistributions without load change", r, res.redists)
+		}
+		if res.ownedCnt != 16 {
+			t.Errorf("rank %d owns %d rows, want 16", r, res.ownedCnt)
+		}
+	}
+	checkValuesAndCoverage(t, results, 64)
+}
+
+func TestAdaptFalseIsInert(t *testing.T) {
+	cfg := Config{Adapt: false, Alloc: matrix.Projection}
+	spec := cpAtCycle(cluster.Uniform(4), 1, 3)
+	results := runMini(t, spec, cfg, 64, 15, false)
+	for r, res := range results {
+		if res.redists != 0 || len(res.events) != 0 {
+			t.Errorf("rank %d: non-adaptive runtime adapted", r)
+		}
+	}
+	checkValuesAndCoverage(t, results, 64)
+}
+
+func TestRedistributionShiftsWorkOffLoadedNode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	spec := cpAtCycle(cluster.Uniform(4), 1, 3)
+	results := runMini(t, spec, cfg, 64, 25, false)
+	checkValuesAndCoverage(t, results, 64)
+	res0 := results[0]
+	if res0.redists != 1 {
+		t.Fatalf("redists = %d, want 1", res0.redists)
+	}
+	counts := res0.counts
+	if counts[1] >= counts[0] {
+		t.Errorf("loaded node kept %d rows vs unloaded %d", counts[1], counts[0])
+	}
+	// Every rank must agree on the distribution.
+	for r, res := range results {
+		for i := range counts {
+			if res.counts[i] != counts[i] {
+				t.Fatalf("rank %d disagrees on distribution: %v vs %v", r, res.counts, counts)
+			}
+		}
+	}
+}
+
+func TestRedistributionBeatsNoAdaptation(t *testing.T) {
+	// The whole point of the paper: adapting must be faster than not.
+	spec := cpAtCycle(cluster.Uniform(4), 1, 3)
+	adaptCfg := DefaultConfig()
+	adaptCfg.Drop = DropNever
+	noCfg := Config{Adapt: false, Alloc: matrix.Projection}
+	const n, cycles = 64, 60
+	adapt := runMini(t, spec, adaptCfg, n, cycles, false)
+	noAdapt := runMini(t, spec, noCfg, n, cycles, false)
+	var tA, tN vclock.Time
+	for _, res := range adapt {
+		if res.final > tA {
+			tA = res.final
+		}
+	}
+	for _, res := range noAdapt {
+		if res.final > tN {
+			tN = res.final
+		}
+	}
+	if tA >= tN {
+		t.Errorf("Dyn-MPI run (%v) not faster than no-adaptation (%v)", tA, tN)
+	}
+}
+
+func TestDropAlwaysRemovesLoadedNode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropAlways
+	spec := cpAtCycle(cluster.Uniform(4), 2, 3)
+	results := runMini(t, spec, cfg, 64, 30, false)
+	checkValuesAndCoverage(t, results, 64)
+	if !results[2].removed {
+		t.Fatal("loaded node was not removed")
+	}
+	if results[2].relRank != -1 {
+		t.Fatal("removed node still has a relative rank")
+	}
+	hasRemovedEv := false
+	for _, ev := range results[2].events {
+		if ev.Kind == EvRemoved {
+			hasRemovedEv = true
+		}
+	}
+	if !hasRemovedEv {
+		t.Fatal("removed node did not record EvRemoved")
+	}
+	// Survivors re-ranked densely.
+	for _, r := range []int{0, 1, 3} {
+		if results[r].removed {
+			t.Fatalf("unloaded node %d removed", r)
+		}
+	}
+	if results[3].relRank != 2 {
+		t.Fatalf("rank 3 relative rank = %d, want 2 after removal of rank 2", results[3].relRank)
+	}
+}
+
+func TestRemovedNodeReceivesGlobals(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropAlways
+	spec := cpAtCycle(cluster.Uniform(3), 0, 2)
+	results := runMini(t, spec, cfg, 30, 20, true)
+	checkValuesAndCoverage(t, results, 30)
+	if !results[0].removed {
+		t.Fatal("rank 0 was not removed")
+	}
+	g0, g1 := results[0].globals, results[1].globals
+	if len(g0) != len(g1) {
+		t.Fatalf("global op counts differ: %d vs %d", len(g0), len(g1))
+	}
+	for i := range g0 {
+		if g0[i] != g1[i] {
+			t.Fatalf("cycle %d: removed node saw %v, active saw %v", i, g0[i], g1[i])
+		}
+	}
+}
+
+func TestMaxRedistsCapsAdaptation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	cfg.MaxRedists = 1
+	// CP appears at cycle 3 and disappears at cycle 20: with the cap only
+	// the first change triggers redistribution.
+	spec := cluster.Uniform(4).
+		With(cluster.CycleEvent(1, 3, +1)).
+		With(cluster.CycleEvent(1, 20, -1))
+	results := runMini(t, spec, cfg, 64, 40, false)
+	checkValuesAndCoverage(t, results, 64)
+	if results[0].redists != 1 {
+		t.Fatalf("redists = %d, want exactly 1 with MaxRedists=1", results[0].redists)
+	}
+}
+
+func TestSecondRedistributionOnLoadRemoval(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	spec := cluster.Uniform(4).
+		With(cluster.CycleEvent(1, 3, +1)).
+		With(cluster.CycleEvent(1, 15, -1))
+	results := runMini(t, spec, cfg, 40, 40, false)
+	checkValuesAndCoverage(t, results, 40)
+	if results[0].redists != 2 {
+		t.Fatalf("redists = %d, want 2 (adapt to CP, adapt back)", results[0].redists)
+	}
+	// After the CP vanishes the distribution should be near-equal again.
+	counts := results[0].counts
+	for i, c := range counts {
+		if c < 8 || c > 12 {
+			t.Errorf("post-recovery counts %v not near-equal (node %d)", counts, i)
+		}
+	}
+}
+
+func TestLogicalDropKeepsNodeWithMinimumWork(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropLogical
+	spec := cpAtCycle(cluster.Uniform(4), 1, 3)
+	results := runMini(t, spec, cfg, 64, 25, false)
+	checkValuesAndCoverage(t, results, 64)
+	if results[1].removed {
+		t.Fatal("logical drop must not remove the node")
+	}
+	if got := results[1].counts[1]; got != 1 {
+		t.Fatalf("logically dropped node owns %d rows, want 1", got)
+	}
+}
+
+func TestSparseRedistributionPreservesValues(t *testing.T) {
+	const n = 48
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	spec := cpAtCycle(cluster.Uniform(3), 0, 3)
+	err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+		rt := New(c, cfg)
+		s := rt.RegisterSparse("S", n)
+		ph := rt.InitPhase(n)
+		ph.AddAccess("S", drsd.ReadWrite, 1, 0)
+		rt.Commit()
+		lo, hi := ph.Bounds()
+		for g := lo; g < hi; g++ {
+			for k := 0; k <= g%3; k++ {
+				s.Append(g, int32(k), float64(g*100+k))
+			}
+		}
+		for tstep := 0; tstep < 20; tstep++ {
+			if rt.BeginCycle() {
+				lo, hi = ph.Bounds()
+				for g := lo; g < hi; g++ {
+					for e := s.RowHead(g); e != nil; e = e.Next() {
+						e.Val++
+					}
+					rt.ComputeIter(g, iterCost)
+				}
+			}
+			rt.EndCycle()
+		}
+		rt.Finalize()
+		if rt.Redistributions() == 0 {
+			return fmt.Errorf("no redistribution happened")
+		}
+		lo, hi = ph.Bounds()
+		for g := lo; g < hi; g++ {
+			if s.RowLen(g) != g%3+1 {
+				return fmt.Errorf("row %d has %d elements, want %d", g, s.RowLen(g), g%3+1)
+			}
+			k := 0
+			for e := s.RowHead(g); e != nil; e = e.Next() {
+				want := float64(g*100+k) + 20
+				if e.Col != int32(k) || e.Val != want {
+					return fmt.Errorf("row %d elem %d = (%d,%v), want (%d,%v)", g, k, e.Col, e.Val, k, want)
+				}
+				k++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGhostRowsFollowRedistribution(t *testing.T) {
+	// A stencil app with ±1 accesses: after redistribution each rank's
+	// window must include valid neighbour rows.
+	const n = 40
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	spec := cpAtCycle(cluster.Uniform(4), 3, 3)
+	err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+		rt := New(c, cfg)
+		x := rt.RegisterDense("X", n, 2)
+		ph := rt.InitPhase(n)
+		ph.AddAccess("X", drsd.Write, 1, 0)
+		ph.AddAccess("X", drsd.Read, 1, -1)
+		ph.AddAccess("X", drsd.Read, 1, +1)
+		rt.Commit()
+		x.Fill(func(g, j int) float64 { return float64(g) })
+		for tstep := 0; tstep < 20; tstep++ {
+			if rt.BeginCycle() {
+				lo, hi := ph.Bounds()
+				// Verify the window covers the stencil and ghosts hold the
+				// right values (they are never written in this test).
+				for g := lo; g < hi; g++ {
+					for _, nb := range []int{g - 1, g + 1} {
+						if nb < 0 || nb >= n {
+							continue
+						}
+						if !x.Resident(nb) {
+							return fmt.Errorf("cycle %d: row %d missing neighbour %d", tstep, g, nb)
+						}
+						if x.Row(nb)[0] != float64(nb) {
+							return fmt.Errorf("cycle %d: ghost row %d = %v", tstep, nb, x.Row(nb)[0])
+						}
+					}
+					rt.ComputeIter(g, iterCost)
+				}
+			}
+			rt.EndCycle()
+		}
+		rt.Finalize()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	err := mpi.Run(cluster.New(cluster.Uniform(1)), func(c *mpi.Comm) error {
+		rt := New(c, DefaultConfig())
+		rt.RegisterDense("A", 10, 2)
+		func() {
+			defer expectPanic(t, "duplicate registration")
+			rt.RegisterDense("A", 10, 2)
+		}()
+		func() {
+			defer expectPanic(t, "mismatched rows")
+			rt.RegisterDense("B", 11, 2)
+		}()
+		ph := rt.InitPhase(10)
+		func() {
+			defer expectPanic(t, "unregistered array access")
+			ph.AddAccess("Z", drsd.Read, 1, 0)
+		}()
+		ph.AddAccess("A", drsd.ReadWrite, 1, 0)
+		rt.Commit()
+		func() {
+			defer expectPanic(t, "registration after commit")
+			rt.RegisterDense("C", 10, 2)
+		}()
+		func() {
+			defer expectPanic(t, "user tag in runtime space")
+			rt.SendRel(0, tagBase+5, nil, 0)
+		}()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func expectPanic(t *testing.T, what string) {
+	t.Helper()
+	if recover() == nil {
+		t.Errorf("%s did not panic", what)
+	}
+}
+
+func TestRelativeRankMessaging(t *testing.T) {
+	err := mpi.Run(cluster.New(cluster.Uniform(3)), func(c *mpi.Comm) error {
+		rt := New(c, DefaultConfig())
+		rt.RegisterDense("A", 9, 1)
+		ph := rt.InitPhase(9)
+		ph.AddAccess("A", drsd.ReadWrite, 1, 0)
+		rt.Commit()
+		rr := rt.RelRank()
+		if rr != c.Rank() {
+			return fmt.Errorf("initial rel rank %d != world rank %d", rr, c.Rank())
+		}
+		if rr > 0 {
+			rt.SendRel(rr-1, 1, []float64{float64(rr)}, 8)
+		}
+		if rr < rt.NumActive()-1 {
+			v, _ := rt.RecvRelF64s(rr+1, 1)
+			if v[0] != float64(rr+1) {
+				return fmt.Errorf("got %v from right neighbour", v)
+			}
+		}
+		if rt.WorldRankOf(rr) != c.Rank() {
+			return fmt.Errorf("WorldRankOf broken")
+		}
+		rt.Barrier()
+		rt.Finalize()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonuniformIterationCostsShapeDistribution(t *testing.T) {
+	// Iterations in the top half are 4x heavier; after adaptation to a CP,
+	// the node holding heavy rows must own fewer of them.
+	const n = 64
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	spec := cpAtCycle(cluster.Uniform(4), 0, 3)
+	var mu sync.Mutex
+	var counts []int
+	err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+		rt := New(c, cfg)
+		x := rt.RegisterDense("X", n, 1)
+		ph := rt.InitPhase(n)
+		ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+		rt.Commit()
+		x.Fill(func(g, j int) float64 { return 0 })
+		cost := func(g int) vclock.Duration {
+			if g < n/2 {
+				return 16 * vclock.Millisecond
+			}
+			return 4 * vclock.Millisecond
+		}
+		for tstep := 0; tstep < 30; tstep++ {
+			if rt.BeginCycle() {
+				lo, hi := ph.Bounds()
+				for g := lo; g < hi; g++ {
+					rt.ComputeIter(g, cost(g))
+				}
+			}
+			rt.EndCycle()
+		}
+		rt.Finalize()
+		mu.Lock()
+		if counts == nil && rt.Participating() {
+			counts = rt.Dist().Counts()
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 (loaded, heavy half) must hold far fewer iterations than the
+	// node holding cheap rows; unloaded heavy-row node 1 holds fewer rows
+	// than cheap-row nodes despite equal fractions.
+	if counts[0] >= counts[3] {
+		t.Fatalf("counts %v: loaded heavy node not relieved", counts)
+	}
+	if counts[1] >= counts[3] {
+		t.Fatalf("counts %v: weighting ignored per-iteration costs", counts)
+	}
+}
+
+func TestEventTraceShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	spec := cpAtCycle(cluster.Uniform(2), 1, 4)
+	results := runMini(t, spec, cfg, 32, 20, false)
+	evs := results[0].events
+	var kinds []EventKind
+	for _, e := range evs {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []EventKind{EvLoadChange, EvRedistStart, EvRedistEnd}
+	if len(kinds) != 3 {
+		t.Fatalf("events %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("events %v, want %v", kinds, want)
+		}
+	}
+	if evs[2].Bytes == 0 {
+		t.Error("redistribution moved no bytes")
+	}
+	if evs[1].Time > evs[2].Time {
+		t.Error("redist events out of order")
+	}
+}

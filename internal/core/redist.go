@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/drsd"
+	"repro/internal/matrix"
+)
+
+// applyDistribution executes a redistribution to newDist (§4.4): for every
+// registered array each node (1) determines ownership from the DRSDs,
+// (2) extracts rows that leave it, (3) resizes its resident window —
+// deallocating unneeded memory, allocating new, updating pointers for data
+// that stays — and (4) exchanges exactly the rows the schedule demands.
+// All active ranks call this collectively with identical arguments.
+func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
+	rt.record(EvRedistStart, 0, "")
+	me := rt.comm.Rank()
+	var bytesMoved int64
+
+	for _, name := range rt.order {
+		a := rt.arrays[name]
+		sched := drsd.ScheduleWindows(rt.dist, newDist, a.accesses)
+		tag := tagRedist + a.index
+
+		// Phase 1: extract outgoing payloads before the window changes.
+		nlo, nhi := newDist.RangeOf(me)
+		wlo, whi := drsd.Window(a.accesses, nlo, nhi, rt.n)
+		type outMsg struct {
+			to    int
+			dense [][]float64
+			spars []matrix.PackedRow
+			lo    int
+			bytes int
+		}
+		var outs []outMsg
+		// Destination multiplicity lets a row that leaves this node be
+		// moved (zero copy) to its final single destination.
+		destCount := map[int]int{}
+		for _, tr := range sched {
+			if tr.From != me {
+				continue
+			}
+			for g := tr.Lo; g < tr.Hi; g++ {
+				destCount[g]++
+			}
+		}
+		for _, tr := range sched {
+			if tr.From != me {
+				continue
+			}
+			m := outMsg{to: tr.To, lo: tr.Lo}
+			for g := tr.Lo; g < tr.Hi; g++ {
+				if a.dense != nil {
+					keep := g >= wlo && g < whi
+					destCount[g]--
+					var row []float64
+					if keep || destCount[g] > 0 {
+						row = make([]float64, a.dense.RowLen)
+						copy(row, a.dense.Row(g))
+						rt.node.ChargeTouch(a.dense.RowBytes())
+					} else {
+						row = a.dense.TakeRow(g)
+					}
+					m.dense = append(m.dense, row)
+					m.bytes += int(a.dense.RowBytes())
+				} else {
+					p := a.sparse.PackRow(g)
+					m.spars = append(m.spars, p)
+					m.bytes += p.WireBytes()
+				}
+			}
+			outs = append(outs, m)
+		}
+
+		// Phase 2: resize the resident window (reuses retained rows; the
+		// allocation scheme determines the cost).
+		if a.dense != nil {
+			a.dense.SetWindow(wlo, whi)
+		} else {
+			a.sparse.SetWindow(wlo, whi)
+		}
+
+		// Phase 3: ship outgoing rows (eager sends never block) and then
+		// receive incoming rows in deterministic schedule order.
+		for _, m := range outs {
+			if m.dense != nil {
+				rt.comm.Send(m.to, tag, m.dense, m.bytes)
+			} else {
+				rt.comm.Send(m.to, tag, m.spars, m.bytes)
+			}
+			bytesMoved += int64(m.bytes)
+		}
+		for _, tr := range sched {
+			if tr.To != me {
+				continue
+			}
+			payload, st := rt.comm.Recv(tr.From, tag)
+			bytesMoved += int64(st.Bytes)
+			if a.dense != nil {
+				rows, ok := payload.([][]float64)
+				if !ok || len(rows) != tr.Hi-tr.Lo {
+					panic(fmt.Sprintf("core: bad dense redistribution payload for %q", name))
+				}
+				for i, row := range rows {
+					a.dense.PutRow(tr.Lo+i, row)
+				}
+			} else {
+				rows, ok := payload.([]matrix.PackedRow)
+				if !ok || len(rows) != tr.Hi-tr.Lo {
+					panic(fmt.Sprintf("core: bad sparse redistribution payload for %q", name))
+				}
+				for i, p := range rows {
+					a.sparse.UnpackRow(tr.Lo+i, p)
+				}
+			}
+		}
+	}
+
+	rt.dist = newDist
+	rt.comm.Barrier(rt.group)
+	rt.events = append(rt.events, Event{
+		Kind: EvRedistEnd, Cycle: rt.cycle, Time: rt.node.Now(),
+		Bytes: bytesMoved, Counts: newDist.Counts(),
+	})
+}

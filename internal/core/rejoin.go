@@ -1,0 +1,220 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/distribution"
+	"repro/internal/drsd"
+)
+
+// This file implements node re-addition, the §2.2 capability the paper
+// leaves mostly to future work: "Dyn-MPI may remove (and potentially later
+// add back) non dedicated nodes from the computation."
+//
+// The protocol must stay deterministic in virtual time, so removed nodes
+// are polled synchronously: each cycle the send-out root pings every
+// removed node, which replies with its current dmpi_ps reading, and then
+// receives a verdict. When a removed node's competing processes have
+// vanished, every active rank reaches the same decision (the removed loads
+// travel in the root's load-exchange contribution), the group is rebuilt
+// to include the rejoiner, and a redistribution ships it its share of the
+// data — the DRSD window machinery treats a rank with an empty old range
+// exactly like any other under-provisioned node.
+
+// rejoinPacket is the verdict the root sends each removed node every
+// cycle. A nil NewActive means "stay removed"; otherwise it carries
+// everything the rejoiner needs to take part in the membership change
+// (including the case where it stays removed but the active set changed
+// because another node rejoined).
+type rejoinPacket struct {
+	NewActive  []int
+	NewCounts  []int
+	OldActive  []int
+	OldCounts  []int
+	NewRemoved []int
+	Rejoining  []int
+	BaseLoads  []int // the load baseline all members adopt, so change detection stays in lockstep
+}
+
+// loadMsg is one rank's contribution to the per-cycle load exchange. Only
+// the send-out root fills the removed-node fields.
+type loadMsg struct {
+	Load         int
+	RemovedRanks []int
+	RemovedLoads []int
+}
+
+// pollRemoved runs the root's ping/reply round with every removed node and
+// returns their current loads (aligned with rt.removed).
+func (rt *Runtime) pollRemoved() []int {
+	loads := make([]int, len(rt.removed))
+	for _, r := range rt.removed {
+		rt.comm.Send(r, tagPing, nil, 1)
+	}
+	for i, r := range rt.removed {
+		p, _ := rt.comm.Recv(r, tagLoadReply)
+		loads[i] = p.(int)
+	}
+	return loads
+}
+
+// exchangeLoads gathers every active rank's load — and, when rejoin is
+// enabled, the removed nodes' loads via the root — so all active ranks see
+// an identical picture.
+func (rt *Runtime) exchangeLoads() (active []int, removedRanks, removedLoads []int) {
+	my := loadMsg{Load: rt.monitor.CompetingProcesses()}
+	if rt.cfg.AllowRejoin && rt.comm.Rank() == rt.sendOutRoot() && len(rt.removed) > 0 {
+		my.RemovedRanks = append([]int(nil), rt.removed...)
+		my.RemovedLoads = rt.pollRemoved()
+	}
+	parts := rt.comm.Allgather(rt.group, my, 8+16*len(my.RemovedRanks))
+	active = make([]int, len(parts))
+	for i, p := range parts {
+		m := p.(loadMsg)
+		active[i] = m.Load
+		if len(m.RemovedRanks) > 0 {
+			removedRanks, removedLoads = m.RemovedRanks, m.RemovedLoads
+		}
+	}
+	return active, removedRanks, removedLoads
+}
+
+// maybeRejoin checks the polled removed-node loads and, when some node has
+// become unloaded, executes the membership change. It reports whether a
+// rejoin happened. All active ranks call this with identical arguments;
+// the root additionally distributes verdicts to the removed nodes.
+func (rt *Runtime) maybeRejoin(activeLoads, removedRanks, removedLoads []int) bool {
+	if !rt.cfg.AllowRejoin || len(rt.removed) == 0 {
+		return false
+	}
+	var rejoining []int
+	stayLoads := map[int]int{}
+	for i, r := range removedRanks {
+		if removedLoads[i] == 0 {
+			rejoining = append(rejoining, r)
+		} else {
+			stayLoads[r] = removedLoads[i]
+		}
+	}
+	isRoot := rt.comm.Rank() == rt.sendOutRoot()
+	if len(rejoining) == 0 {
+		if isRoot {
+			for _, r := range rt.removed {
+				rt.comm.Send(r, tagRejoin, rejoinPacket{}, 8)
+			}
+		}
+		return false
+	}
+	sort.Ints(rejoining)
+
+	newActive := append(append([]int(nil), rt.active...), rejoining...)
+	sort.Ints(newActive)
+	var newRemoved []int
+	for _, r := range rt.removed {
+		keep := true
+		for _, j := range rejoining {
+			if j == r {
+				keep = false
+			}
+		}
+		if keep {
+			newRemoved = append(newRemoved, r)
+		}
+	}
+
+	// Balance over the new membership: rejoiners are unloaded by
+	// definition; survivors keep their just-gathered loads.
+	loadOf := map[int]int{}
+	for i, r := range rt.active {
+		loadOf[r] = activeLoads[i]
+	}
+	powers := rt.powers()
+	nodes := make([]distribution.Node, len(newActive))
+	for i, r := range newActive {
+		nodes[i] = distribution.Node{Rank: r, Power: powers[r], Load: loadOf[r]}
+	}
+	iterCosts := rt.iterCosts
+	if iterCosts == nil {
+		iterCosts = make([]float64, rt.n)
+		for i := range iterCosts {
+			iterCosts[i] = 1
+		}
+	}
+	fractions := distribution.RelativePowerFractions(nodes)
+	counts := distribution.PartitionWeighted(iterCosts, fractions)
+	newDist := drsd.NewBlock(newActive, counts)
+
+	newBase := make([]int, len(newActive))
+	for i, r := range newActive {
+		newBase[i] = loadOf[r] // rejoiners default to 0
+	}
+	pkt := rejoinPacket{
+		NewActive:  newActive,
+		NewCounts:  counts,
+		OldActive:  rt.dist.Ranks(),
+		OldCounts:  rt.dist.Counts(),
+		NewRemoved: newRemoved,
+		Rejoining:  rejoining,
+		BaseLoads:  newBase,
+	}
+	if isRoot {
+		for _, r := range rt.removed {
+			rt.comm.Send(r, tagRejoin, pkt, 8+16*len(newActive))
+		}
+	}
+
+	// Rebuild membership, then redistribute with the rejoiners inside the
+	// collective group so they receive their rows.
+	rt.active = newActive
+	rt.removed = newRemoved
+	rt.group = rt.comm.World().NewGroup(newActive)
+	rt.applyDistribution(newDist)
+	rt.redists++
+	rt.record(EvRejoin, 0, "")
+	rt.baseLoads = newBase
+	rt.state = stNormal
+	rt.collector = nil
+	rt.cycTimer = nil
+	rt.cycOpen = false
+	return true
+}
+
+// removedCycle is the removed node's side of the per-cycle protocol: reply
+// to the root's ping with the local load, then apply the verdict.
+func (rt *Runtime) removedCycle() {
+	if !rt.cfg.AllowRejoin {
+		return
+	}
+	rt.comm.Recv(rt.sendOutRoot(), tagPing)
+	rt.comm.Send(rt.sendOutRoot(), tagLoadReply, rt.monitor.CompetingProcesses(), 8)
+	p, _ := rt.comm.Recv(rt.sendOutRoot(), tagRejoin)
+	pkt := p.(rejoinPacket)
+	if pkt.NewActive == nil {
+		return
+	}
+	// Membership changed. Even if this node stays removed, it must track
+	// the new active set (the send-out root may have moved).
+	me := rt.comm.Rank()
+	rejoining := false
+	for _, r := range pkt.Rejoining {
+		if r == me {
+			rejoining = true
+		}
+	}
+	rt.active = pkt.NewActive
+	rt.removed = pkt.NewRemoved
+	if !rejoining {
+		return
+	}
+	rt.isOut = false
+	rt.group = rt.comm.World().NewGroup(pkt.NewActive)
+	rt.dist = drsd.NewBlock(pkt.OldActive, pkt.OldCounts)
+	rt.applyDistribution(drsd.NewBlock(pkt.NewActive, pkt.NewCounts))
+	rt.redists++
+	rt.record(EvRejoin, 0, "rejoined")
+	rt.baseLoads = append([]int(nil), pkt.BaseLoads...)
+	rt.state = stNormal
+	rt.collector = nil
+	rt.cycTimer = nil
+	rt.cycOpen = false
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// rejoinSpec builds the canonical churn scenario: a CP lands on `node` at
+// cycle `on` and leaves at cycle `off`.
+func rejoinSpec(n, node, on, off int) cluster.Spec {
+	return cluster.Uniform(n).
+		With(cluster.CycleEvent(node, on, +1)).
+		With(cluster.CycleEvent(node, off, -1))
+}
+
+func TestRejoinAfterLoadVanishes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropAlways
+	cfg.AllowRejoin = true
+	// Node 2 is loaded between cycles 3 and 25: it gets dropped, then its
+	// CP exits and it must be re-added with a fair share of the data.
+	spec := rejoinSpec(4, 2, 3, 25)
+	results := runMini(t, spec, cfg, 64, 60, false)
+	checkValuesAndCoverage(t, results, 64)
+	res2 := results[2]
+	if res2.removed {
+		t.Fatal("node 2 still removed at the end; rejoin did not happen")
+	}
+	var kinds []EventKind
+	for _, ev := range res2.events {
+		kinds = append(kinds, ev.Kind)
+	}
+	sawRemoved, sawRejoin := false, false
+	for _, k := range kinds {
+		if k == EvRemoved {
+			sawRemoved = true
+		}
+		if k == EvRejoin && sawRemoved {
+			sawRejoin = true
+		}
+	}
+	if !sawRemoved || !sawRejoin {
+		t.Fatalf("event sequence %v lacks removed-then-rejoin", kinds)
+	}
+	// After rejoin, the node must own a non-trivial share again.
+	if res2.ownedCnt < 8 {
+		t.Fatalf("rejoined node owns only %d rows", res2.ownedCnt)
+	}
+	// All survivors agree on the final 4-node distribution.
+	for r, res := range results {
+		if len(res.counts) != 4 {
+			t.Fatalf("rank %d final distribution %v does not include the rejoined node", r, res.counts)
+		}
+	}
+}
+
+func TestRejoinPreservesValuesWithGlobals(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropAlways
+	cfg.AllowRejoin = true
+	spec := rejoinSpec(3, 1, 2, 20)
+	results := runMini(t, spec, cfg, 30, 45, true)
+	checkValuesAndCoverage(t, results, 30)
+	// Global reductions must have stayed consistent across removal and
+	// rejoin on every rank.
+	g0 := results[0].globals
+	for r := 1; r < 3; r++ {
+		g := results[r].globals
+		if len(g) != len(g0) {
+			t.Fatalf("rank %d saw %d globals, rank 0 saw %d", r, len(g), len(g0))
+		}
+		for i := range g {
+			if g[i] != g0[i] {
+				t.Fatalf("global %d differs: rank %d saw %v, rank 0 saw %v", i, r, g[i], g0[i])
+			}
+		}
+	}
+}
+
+func TestRejoinDisabledKeepsNodeOut(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropAlways
+	cfg.AllowRejoin = false
+	spec := rejoinSpec(4, 2, 3, 25)
+	results := runMini(t, spec, cfg, 64, 60, false)
+	checkValuesAndCoverage(t, results, 64)
+	if !results[2].removed {
+		t.Fatal("without AllowRejoin the dropped node must stay removed")
+	}
+}
+
+func TestRejoinRootIsNeverDropped(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropAlways
+	cfg.AllowRejoin = true
+	// The CP lands on rank 0 — the send-out root — which must be pinned.
+	spec := cluster.Uniform(3).With(cluster.CycleEvent(0, 3, +1))
+	results := runMini(t, spec, cfg, 30, 30, false)
+	checkValuesAndCoverage(t, results, 30)
+	if results[0].removed {
+		t.Fatal("send-out root was dropped despite AllowRejoin pinning")
+	}
+}
+
+func TestRepeatedChurn(t *testing.T) {
+	// Two full load/unload waves on the same node: drop, rejoin, drop,
+	// rejoin — data must survive every transition.
+	cfg := DefaultConfig()
+	cfg.Drop = DropAlways
+	cfg.AllowRejoin = true
+	spec := cluster.Uniform(4).
+		With(cluster.CycleEvent(1, 3, +1)).
+		With(cluster.CycleEvent(1, 25, -1)).
+		With(cluster.CycleEvent(1, 50, +1)).
+		With(cluster.CycleEvent(1, 75, -1))
+	results := runMini(t, spec, cfg, 64, 110, false)
+	checkValuesAndCoverage(t, results, 64)
+	rejoins := 0
+	for _, ev := range results[1].events {
+		if ev.Kind == EvRejoin {
+			rejoins++
+		}
+	}
+	if rejoins < 2 {
+		t.Fatalf("node 1 rejoined %d times, want 2", rejoins)
+	}
+	if results[1].removed {
+		t.Fatal("node 1 should be active at the end")
+	}
+}

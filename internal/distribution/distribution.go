@@ -1,0 +1,289 @@
+// Package distribution implements Dyn-MPI's data-distribution decision
+// machinery (paper §4.3): the relative-power baseline, the successive
+// balancing algorithm driven by a two-node pair model, weighted
+// partitioning of (possibly nonuniform) iterations into variable blocks,
+// execution-time prediction for unloaded configurations, and the node-drop
+// decision (§4.4).
+package distribution
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Node is one candidate participant as seen by the balancer.
+type Node struct {
+	Rank  int     // world rank
+	Power float64 // static relative CPU speed
+	Load  int     // competing processes currently runnable (from the load monitor)
+}
+
+// PairModel answers the two-node question underlying successive balancing:
+// if a node with k competing processes shares a workload with an identical
+// unloaded node, what fraction of the work should the loaded node receive?
+// ratio is the computation/communication ratio: total per-cycle compute
+// time divided by the per-node per-cycle communication CPU time.
+type PairModel interface {
+	Fraction(k int, ratio float64) float64
+}
+
+// AnalyticModel is the closed-form pair model for the quantum-sharing cost
+// model: a node with k CPs computes (1+k)x slower and pays its per-cycle
+// communication CPU (1+k)x slower too. Equalising completion times of
+//
+//	loaded:   w·(1+k) + C·(1+k)
+//	unloaded: (W−w)    + C
+//
+// gives w/W = (1 − k/R) / (2+k) with R = W/C, clamped to [0, 1/(2+k)].
+// As R→∞ this converges to the naive relative-power fraction 1/(2+k);
+// for small R the loaded node should receive strictly less — the paper's
+// central observation about why relative power misdistributes.
+type AnalyticModel struct{}
+
+// Fraction implements PairModel.
+func (AnalyticModel) Fraction(k int, ratio float64) float64 {
+	if k <= 0 {
+		return 0.5
+	}
+	naive := 1.0 / float64(2+k)
+	if ratio <= 0 || math.IsInf(ratio, 1) {
+		return naive
+	}
+	f := (1.0 - float64(k)/ratio) / float64(2+k)
+	if f < 0 {
+		return 0
+	}
+	if f > naive {
+		return naive
+	}
+	return f
+}
+
+// TableModel interpolates fractions measured by micro-benchmarks
+// (BuildTableModel) over a log-spaced grid of comp/comm ratios, per
+// competing-process count. It falls back to the analytic model outside the
+// measured range of k.
+type TableModel struct {
+	Ratios    []float64         // ascending
+	Fractions map[int][]float64 // k -> fraction per ratio
+	fallback  AnalyticModel
+}
+
+// Fraction implements PairModel by log-linear interpolation in ratio.
+func (m *TableModel) Fraction(k int, ratio float64) float64 {
+	if k <= 0 {
+		return 0.5
+	}
+	fs, ok := m.Fractions[k]
+	if !ok || len(fs) == 0 || len(m.Ratios) != len(fs) {
+		return m.fallback.Fraction(k, ratio)
+	}
+	rs := m.Ratios
+	if ratio <= rs[0] {
+		return fs[0]
+	}
+	if ratio >= rs[len(rs)-1] {
+		return fs[len(fs)-1]
+	}
+	i := sort.SearchFloat64s(rs, ratio)
+	lo, hi := i-1, i
+	t := (math.Log(ratio) - math.Log(rs[lo])) / (math.Log(rs[hi]) - math.Log(rs[lo]))
+	return fs[lo] + t*(fs[hi]-fs[lo])
+}
+
+// RelativePowerFractions is the baseline from CRAUL [2]: each node's share
+// is proportional to power/(1+load), ignoring communication.
+func RelativePowerFractions(nodes []Node) []float64 {
+	caps := make([]float64, len(nodes))
+	var sum float64
+	for i, n := range nodes {
+		caps[i] = n.Power / float64(1+n.Load)
+		sum += caps[i]
+	}
+	for i := range caps {
+		caps[i] /= sum
+	}
+	return caps
+}
+
+// SuccessiveBalancingFractions implements the paper's algorithm: reduce the
+// multi-node problem to loaded/unloaded pairs. Each round fixes the loaded
+// nodes' shares from the pair model (at their current comp/comm ratio) and
+// balances the remainder across the unloaded nodes by power; rounds repeat
+// until the unloaded assignment stops changing.
+//
+// totalComp is the whole workload's per-cycle compute time on a power-1
+// node; commCPU is one node's per-cycle communication CPU time. Both only
+// matter through their ratio and scale.
+func SuccessiveBalancingFractions(nodes []Node, totalComp, commCPU float64, model PairModel) []float64 {
+	if model == nil {
+		model = AnalyticModel{}
+	}
+	p := len(nodes)
+	fr := RelativePowerFractions(nodes) // starting point
+	anyUnloaded := false
+	for _, n := range nodes {
+		if n.Load == 0 {
+			anyUnloaded = true
+			break
+		}
+	}
+	if !anyUnloaded {
+		return fr // nothing to pair against; relative power is the best guess
+	}
+	const maxRounds = 32
+	for round := 0; round < maxRounds; round++ {
+		next := make([]float64, p)
+		// Loaded nodes: pair each against a same-power unloaded twin at the
+		// node's current comp/comm ratio. The pair fraction φ converts into
+		// a capacity multiplier g = φ/(1−φ) relative to an unloaded node.
+		var capSum float64
+		caps := make([]float64, p)
+		for i, n := range nodes {
+			if n.Load == 0 {
+				caps[i] = n.Power
+			} else {
+				// The pair model is calibrated on a two-node split of the
+				// node's neighbourhood workload: the loaded node plus one
+				// unloaded peer share 2/p of the total compute.
+				ratio := math.Inf(1)
+				if commCPU > 0 {
+					ratio = totalComp * 2 / float64(p) / commCPU
+				}
+				phi := model.Fraction(n.Load, ratio)
+				if phi >= 0.5 {
+					phi = 0.499
+				}
+				// A pair fraction φ means capacity φ/(1−φ) relative to one
+				// unloaded node of the same power.
+				caps[i] = n.Power * phi / (1 - phi)
+			}
+			capSum += caps[i]
+		}
+		for i := range next {
+			next[i] = caps[i] / capSum
+		}
+		// Convergence: unloaded shares stable to 0.1%.
+		stable := true
+		for i, n := range nodes {
+			if n.Load == 0 && math.Abs(next[i]-fr[i]) > 1e-3 {
+				stable = false
+			}
+		}
+		fr = next
+		if stable {
+			break
+		}
+	}
+	return fr
+}
+
+// PartitionWeighted splits the iteration space into contiguous blocks whose
+// summed iteration costs best match the target fractions. iterCosts[g] is
+// the unloaded cost of iteration g (uniform apps pass all-equal costs);
+// fractions must sum to ~1. The result is per-node counts in order.
+func PartitionWeighted(iterCosts []float64, fractions []float64) []int {
+	n, p := len(iterCosts), len(fractions)
+	counts := make([]int, p)
+	if n == 0 {
+		return counts
+	}
+	var total float64
+	for _, w := range iterCosts {
+		if w < 0 {
+			panic(fmt.Sprintf("distribution: negative iteration cost %v", w))
+		}
+		total += w
+	}
+	if total == 0 {
+		// Degenerate: treat iterations as uniform.
+		return PartitionWeighted(ones(n), fractions)
+	}
+	// Walk the prefix sums, cutting at the cumulative targets; each block
+	// boundary goes to whichever side is closer to its target.
+	cum := 0.0
+	target := 0.0
+	g := 0
+	for i := 0; i < p; i++ {
+		target += fractions[i] * total
+		start := g
+		for g < n && cum < target {
+			// Assign iteration g to block i if its midpoint is before the
+			// target (closest-cut rule).
+			if cum+iterCosts[g]/2 > target {
+				break
+			}
+			cum += iterCosts[g]
+			g++
+		}
+		counts[i] = g - start
+	}
+	// Remainder (rounding) goes to the last non-empty-capable node.
+	if g < n {
+		counts[p-1] += n - g
+	}
+	return counts
+}
+
+func ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// PredictCycleTime estimates one phase-cycle's wall time for a candidate
+// assignment: the slowest node's compute plus its communication, with load
+// inflation applied to CPU components. counts are iterations per node
+// (aligned with nodes); iterCosts are per-iteration unloaded costs on a
+// power-1 node; commCPU and commWire are per-node per-cycle communication
+// costs in seconds.
+func PredictCycleTime(nodes []Node, counts []int, iterCosts []float64, commCPU, commWire float64) float64 {
+	if len(nodes) != len(counts) {
+		panic("distribution: nodes/counts mismatch")
+	}
+	pre := make([]float64, len(iterCosts)+1)
+	for g, w := range iterCosts {
+		pre[g+1] = pre[g] + w
+	}
+	worst := 0.0
+	lo := 0
+	for i, n := range nodes {
+		hi := lo + counts[i]
+		comp := pre[hi] - pre[lo]
+		lo = hi
+		inflate := float64(1+n.Load) / n.Power
+		t := comp*inflate + commCPU*inflate + commWire
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// DropDecision is the §4.4 rule: after the post-redistribution grace
+// period, compare the measured worst per-cycle time against the predicted
+// time of a configuration containing only the unloaded nodes; if the
+// prediction (which is reliable, because unloaded nodes are predictable)
+// wins, the loaded nodes are physically removed.
+//
+// measuredMax is the maximum over nodes of the average cycle time observed
+// during the grace period. commCPU/commWire describe per-node per-cycle
+// communication for the *smaller* unloaded-only configuration.
+func DropDecision(nodes []Node, iterCosts []float64, measuredMax, commCPU, commWire float64) (drop bool, predicted float64) {
+	var unloaded []Node
+	for _, n := range nodes {
+		if n.Load == 0 {
+			unloaded = append(unloaded, n)
+		}
+	}
+	if len(unloaded) == 0 || len(unloaded) == len(nodes) {
+		return false, math.Inf(1)
+	}
+	fr := RelativePowerFractions(unloaded)
+	counts := PartitionWeighted(iterCosts, fr)
+	predicted = PredictCycleTime(unloaded, counts, iterCosts, commCPU, commWire)
+	return predicted < measuredMax, predicted
+}

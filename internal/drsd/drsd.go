@@ -1,0 +1,327 @@
+// Package drsd implements (Deferred) Regular Section Descriptors and the
+// ownership machinery built on them (paper §2.2, §4.4).
+//
+// An RSD describes a set of array rows as start/end/step. A Dyn-MPI access
+// declaration (DMPI_add_array_access) is a *deferred* RSD: its bounds are
+// functions of the node's current iteration range, evaluated only at run
+// time — after every redistribution the same declaration yields the node's
+// new required rows. Comparing the rows a node holds with the rows its
+// DRSDs require after a distribution change yields precisely the
+// communication schedule for redistribution, the technique the paper
+// borrows from the Fortran D compiler.
+package drsd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mode describes how an access touches an array.
+type Mode int
+
+const (
+	Read Mode = iota
+	Write
+	ReadWrite
+)
+
+// String names the access mode.
+func (m Mode) String() string {
+	switch m {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case ReadWrite:
+		return "readwrite"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// RSD is a regular section of rows: {Start, Start+Step, ...} up to but not
+// including End. A canonical empty section has Start == End.
+type RSD struct {
+	Start, End, Step int
+}
+
+// Empty reports whether the section contains no rows.
+func (r RSD) Empty() bool { return r.Start >= r.End }
+
+// Len reports the number of rows in the section.
+func (r RSD) Len() int {
+	if r.Empty() {
+		return 0
+	}
+	return (r.End - r.Start + r.Step - 1) / r.Step
+}
+
+// Contains reports whether row g is in the section.
+func (r RSD) Contains(g int) bool {
+	return g >= r.Start && g < r.End && (g-r.Start)%r.Step == 0
+}
+
+// Rows materialises the section (for tests and schedules over small N).
+func (r RSD) Rows() []int {
+	out := make([]int, 0, r.Len())
+	for g := r.Start; g < r.End; g += r.Step {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Access is one deferred RSD: an array reference of the form
+// name[i*Step + Off] inside a loop distributed over i. One Access is
+// declared per array reference in the parallel loop.
+type Access struct {
+	Array string
+	Mode  Mode
+	Step  int // reference stride per iteration (>= 1)
+	Off   int // constant offset from the iteration variable
+}
+
+// Eval computes the rows this access touches when the node executes
+// iterations [lo,hi), clamped to the array's [0,n) rows. This is the
+// deferred bound computation that gives DRSDs their name.
+func (a Access) Eval(lo, hi, n int) RSD {
+	if a.Step < 1 {
+		panic(fmt.Sprintf("drsd: access step %d < 1", a.Step))
+	}
+	if lo >= hi {
+		return RSD{Step: 1}
+	}
+	start := lo*a.Step + a.Off
+	end := (hi-1)*a.Step + a.Off + 1
+	if start < 0 {
+		start = 0
+	}
+	if end > n {
+		end = n
+	}
+	if start >= end {
+		return RSD{Step: 1}
+	}
+	return RSD{Start: start, End: end, Step: a.Step}
+}
+
+// Window returns the smallest contiguous [wlo, whi) covering every access
+// for iterations [lo,hi) of an n-row iteration space. It is the resident
+// window a node must hold (owned rows plus ghost rows).
+func Window(accesses []Access, lo, hi, n int) (wlo, whi int) {
+	wlo, whi = n, 0
+	for _, a := range accesses {
+		r := a.Eval(lo, hi, n)
+		if r.Empty() {
+			continue
+		}
+		if r.Start < wlo {
+			wlo = r.Start
+		}
+		if r.End > whi {
+			whi = r.End
+		}
+	}
+	if wlo > whi {
+		return 0, 0
+	}
+	return wlo, whi
+}
+
+// --- distributions ---------------------------------------------------------
+
+// Distribution maps each row of a global iteration/row space to the world
+// rank owning it. Rows owned by no rank (removed nodes hold nothing) are
+// impossible by construction: a Distribution is total.
+type Distribution interface {
+	// Owner returns the world rank owning row g.
+	Owner(g int) int
+	// Rows reports the size of the distributed dimension.
+	Rows() int
+	// Ranks returns the participating world ranks in relative-rank order.
+	Ranks() []int
+}
+
+// Block is a variable block distribution: rank Ranks[i] owns rows
+// [Bounds[i], Bounds[i+1]). len(Bounds) == len(Ranks)+1, Bounds[0] == 0 and
+// Bounds[len(Ranks)] == Rows. Blocks may be empty.
+type Block struct {
+	bounds []int
+	ranks  []int
+}
+
+// NewBlock builds a variable block distribution. counts[i] rows go to
+// ranks[i], in order.
+func NewBlock(ranks, counts []int) *Block {
+	if len(ranks) == 0 || len(ranks) != len(counts) {
+		panic("drsd: NewBlock needs matching non-empty ranks and counts")
+	}
+	b := &Block{ranks: append([]int(nil), ranks...), bounds: make([]int, len(ranks)+1)}
+	for i, c := range counts {
+		if c < 0 {
+			panic(fmt.Sprintf("drsd: negative block count %d", c))
+		}
+		b.bounds[i+1] = b.bounds[i] + c
+	}
+	return b
+}
+
+// EqualBlock distributes n rows over ranks as evenly as possible (the
+// DMPI_BLOCK initial distribution), giving earlier ranks the remainder.
+func EqualBlock(ranks []int, n int) *Block {
+	p := len(ranks)
+	counts := make([]int, p)
+	base, rem := n/p, n%p
+	for i := range counts {
+		counts[i] = base
+		if i < rem {
+			counts[i]++
+		}
+	}
+	return NewBlock(ranks, counts)
+}
+
+// Owner implements Distribution.
+func (b *Block) Owner(g int) int {
+	if g < 0 || g >= b.Rows() {
+		panic(fmt.Sprintf("drsd: row %d outside [0,%d)", g, b.Rows()))
+	}
+	i := sort.SearchInts(b.bounds, g+1) - 1
+	return b.ranks[i]
+}
+
+// Rows implements Distribution.
+func (b *Block) Rows() int { return b.bounds[len(b.bounds)-1] }
+
+// Ranks implements Distribution.
+func (b *Block) Ranks() []int { return b.ranks }
+
+// Counts returns the per-rank row counts in relative-rank order.
+func (b *Block) Counts() []int {
+	out := make([]int, len(b.ranks))
+	for i := range out {
+		out[i] = b.bounds[i+1] - b.bounds[i]
+	}
+	return out
+}
+
+// RangeOf returns the iteration range [lo,hi) assigned to world rank r, or
+// (0,0) if r does not participate.
+func (b *Block) RangeOf(r int) (lo, hi int) {
+	for i, rk := range b.ranks {
+		if rk == r {
+			return b.bounds[i], b.bounds[i+1]
+		}
+	}
+	return 0, 0
+}
+
+// Cyclic assigns row g to Ranks[g mod p] (the DMPI_CYCLIC distribution).
+type Cyclic struct {
+	ranks []int
+	rows  int
+}
+
+// NewCyclic builds a cyclic distribution of n rows over ranks.
+func NewCyclic(ranks []int, n int) *Cyclic {
+	if len(ranks) == 0 {
+		panic("drsd: empty cyclic ranks")
+	}
+	return &Cyclic{ranks: append([]int(nil), ranks...), rows: n}
+}
+
+// Owner implements Distribution.
+func (c *Cyclic) Owner(g int) int {
+	if g < 0 || g >= c.rows {
+		panic(fmt.Sprintf("drsd: row %d outside [0,%d)", g, c.rows))
+	}
+	return c.ranks[g%len(c.ranks)]
+}
+
+// Rows implements Distribution.
+func (c *Cyclic) Rows() int { return c.rows }
+
+// Ranks implements Distribution.
+func (c *Cyclic) Ranks() []int { return c.ranks }
+
+// --- redistribution schedules ----------------------------------------------
+
+// Transfer moves the contiguous rows [Lo,Hi) from world rank From to world
+// rank To.
+type Transfer struct {
+	From, To int
+	Lo, Hi   int
+}
+
+// Schedule computes the minimal set of contiguous transfers that transform
+// ownership from old to new. Rows whose owner is unchanged generate no
+// traffic. Transfers are ordered by row, so both endpoints can derive a
+// deterministic message order.
+func Schedule(oldD, newD Distribution) []Transfer {
+	if oldD.Rows() != newD.Rows() {
+		panic("drsd: schedule across different row counts")
+	}
+	var out []Transfer
+	n := oldD.Rows()
+	for g := 0; g < n; g++ {
+		f, t := oldD.Owner(g), newD.Owner(g)
+		if f == t {
+			continue
+		}
+		if k := len(out) - 1; k >= 0 && out[k].From == f && out[k].To == t && out[k].Hi == g {
+			out[k].Hi = g + 1
+			continue
+		}
+		out = append(out, Transfer{From: f, To: t, Lo: g, Hi: g + 1})
+	}
+	return out
+}
+
+// ScheduleWindows computes the transfers needed to move an array from an
+// old to a new *block* distribution when each node must end up holding its
+// DRSD *window* (owned rows plus ghost rows required by the accesses), not
+// just its owned range. Every required row a node does not already hold is
+// fetched from its old owner — the authoritative copy. A row needed by
+// several nodes is sent to each. Transfers are coalesced into contiguous
+// ranges and ordered deterministically (by receiving rank, then row).
+func ScheduleWindows(oldD, newD *Block, accesses []Access) []Transfer {
+	if oldD.Rows() != newD.Rows() {
+		panic("drsd: schedule across different row counts")
+	}
+	n := oldD.Rows()
+	var out []Transfer
+	for _, r := range newD.Ranks() {
+		nlo, nhi := newD.RangeOf(r)
+		wlo, whi := Window(accesses, nlo, nhi, n)
+		olo, ohi := oldD.RangeOf(r)
+		hlo, hhi := 0, 0
+		if olo < ohi {
+			hlo, hhi = Window(accesses, olo, ohi, n)
+		}
+		for g := wlo; g < whi; g++ {
+			if g >= hlo && g < hhi {
+				continue // already resident from the old window
+			}
+			from := oldD.Owner(g)
+			if from == r {
+				continue // I owned it, so I hold it even outside my window
+			}
+			if k := len(out) - 1; k >= 0 && out[k].From == from && out[k].To == r && out[k].Hi == g {
+				out[k].Hi = g + 1
+				continue
+			}
+			out = append(out, Transfer{From: from, To: r, Lo: g, Hi: g + 1})
+		}
+	}
+	return out
+}
+
+// BytesMoved reports the total payload of a schedule given a per-row size.
+func BytesMoved(ts []Transfer, rowBytes func(g int) int64) int64 {
+	var total int64
+	for _, t := range ts {
+		for g := t.Lo; g < t.Hi; g++ {
+			total += rowBytes(g)
+		}
+	}
+	return total
+}

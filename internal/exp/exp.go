@@ -1,0 +1,151 @@
+// Package exp is the experiment harness: one runner per table/figure of
+// the paper's evaluation (§5), each reproducing the corresponding workload,
+// competing-process scenario and measurement, and rendering the same rows
+// the paper reports. Absolute times come from the simulator's virtual
+// clock; the quantities of interest are the paper's *shapes* — who wins,
+// by what factor, and where the crossovers fall.
+//
+// Every experiment runs at a laptop-friendly scale by default, chosen to
+// preserve the paper's computation/communication ratios (see EXPERIMENTS.md
+// for the calibration); the Paper option selects the original input sizes.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// Table is a rendered experiment result: a caption, a header, and rows of
+// cells. Raw values live on the experiment-specific result structs.
+type Table struct {
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Caption)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+// redistWindow extracts the first redistribution interval (start/end
+// virtual seconds) and its cycle from a rank's event trace; ok is false if
+// the rank never redistributed.
+func redistWindow(stats apps.RankStats) (startSec, endSec float64, cycle int, ok bool) {
+	var start, end float64
+	var cyc int
+	seen := false
+	for _, ev := range stats.Events {
+		switch ev.Kind {
+		case core.EvRedistStart:
+			if !seen {
+				start, cyc = ev.Time.Seconds(), ev.Cycle
+			}
+		case core.EvRedistEnd:
+			if !seen {
+				end = ev.Time.Seconds()
+				seen = true
+			}
+		}
+	}
+	return start, end, cyc, seen
+}
+
+// lastRedistEnd returns the final redistribution end (seconds, cycle).
+func lastRedistEnd(stats apps.RankStats) (sec float64, cycle int, ok bool) {
+	for _, ev := range stats.Events {
+		if ev.Kind == core.EvRedistEnd {
+			sec, cycle, ok = ev.Time.Seconds(), ev.Cycle, true
+		}
+	}
+	return sec, cycle, ok
+}
+
+// avgCycleAfterRedist computes the steady-state average phase-cycle time
+// after the last redistribution, the quantity Figures 6 and 7 plot. It
+// uses the latest redistribution end across ranks and the overall finish.
+func avgCycleAfterRedist(res apps.Result, totalCycles int) (float64, bool) {
+	endSec, endCycle := 0.0, 0
+	found := false
+	for _, st := range res.Stats {
+		if s, c, ok := lastRedistEnd(st); ok && s > endSec {
+			endSec, endCycle, found = s, c, true
+		}
+	}
+	if !found || totalCycles-endCycle <= 0 {
+		return 0, false
+	}
+	return (res.Elapsed - endSec) / float64(totalCycles-endCycle), true
+}
+
+// totalRedistSeconds sums all redistribution windows on the slowest rank.
+func totalRedistSeconds(res apps.Result) float64 {
+	best := 0.0
+	for _, st := range res.Stats {
+		var tot float64
+		var start float64
+		open := false
+		for _, ev := range st.Events {
+			switch ev.Kind {
+			case core.EvRedistStart:
+				start, open = ev.Time.Seconds(), true
+			case core.EvRedistEnd:
+				if open {
+					tot += ev.Time.Seconds() - start
+					open = false
+				}
+			}
+		}
+		if tot > best {
+			best = tot
+		}
+	}
+	return best
+}

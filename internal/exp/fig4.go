@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/apps/cg"
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/particles"
+	"repro/internal/apps/sor"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// Fig4Options parameterises the Figure 4 reproduction: all four
+// applications on 2/4/8 nodes, one competing process introduced on one
+// node at the 10th iteration, times normalised to the all-dedicated run.
+type Fig4Options struct {
+	// Nodes lists the configurations (paper: 2, 4, 8).
+	Nodes []int
+	// Apps restricts the applications (default all four).
+	Apps []string
+	// Paper selects the paper's input sizes (2048² Jacobi/SOR, 14000 CG,
+	// 256² particles); default is a scaled configuration with matching
+	// computation/communication ratios.
+	Paper bool
+	// Seed offsets the cluster seeds (for replication studies).
+	Seed uint64
+}
+
+// DefaultFig4Options returns the paper's configuration at laptop scale.
+func DefaultFig4Options() Fig4Options {
+	return Fig4Options{Nodes: []int{2, 4, 8}, Apps: []string{"jacobi", "sor", "cg", "particles"}}
+}
+
+// Fig4Row is one (app, nodes) measurement.
+type Fig4Row struct {
+	App       string
+	Nodes     int
+	Dedicated float64 // absolute seconds
+	NoAdapt   float64 // normalised to Dedicated
+	DynMPI    float64 // normalised to Dedicated
+	Redists   int
+}
+
+// Fig4Result holds every row of the Figure 4 reproduction.
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// Improvement reports Dyn-MPI's mean improvement over no adaptation
+// (the paper reports an average of 72%).
+func (r *Fig4Result) Improvement() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, row := range r.Rows {
+		s += (row.NoAdapt - row.DynMPI) / row.DynMPI
+	}
+	return s / float64(len(r.Rows))
+}
+
+// Slowdown reports the mean Dyn-MPI slowdown versus dedicated (paper: 29%).
+func (r *Fig4Result) Slowdown() float64 {
+	if len(r.Rows) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, row := range r.Rows {
+		s += row.DynMPI - 1
+	}
+	return s / float64(len(r.Rows))
+}
+
+// fig4Runner abstracts one application for the Figure 4 matrix.
+type fig4Runner struct {
+	name   string
+	cpNode int // node receiving the competing process
+	run    func(cl *cluster.Cluster, coreCfg core.Config) (apps.Result, error)
+}
+
+// loadedAtCycle10 is the paper's scenario: one CP on the 10th iteration.
+func loadedAtCycle10(n, node int, seed uint64) cluster.Spec {
+	spec := cluster.Uniform(n)
+	spec.Seed += seed
+	return spec.With(cluster.CycleEvent(node, 10, +1))
+}
+
+func fig4Runners(o Fig4Options) []fig4Runner {
+	jc := jacobi.DefaultConfig()
+	sc := sor.DefaultConfig()
+	cc := cg.DefaultConfig()
+	pc := particles.DefaultConfig()
+	if o.Paper {
+		jc.Rows, jc.Cols, jc.Iters, jc.CostPerElem = 2048, 2048, 250, 40
+		sc.Rows, sc.Cols, sc.Iters, sc.CostPerElem = 2048, 2048, 250, 40
+		cc.N, cc.Iters, cc.CostPerNnz = 14000, 75, 2750
+		pc.Rows, pc.Cols, pc.Steps = 256, 256, 200
+	} else {
+		// Scaled for laptop runs; comp/comm ratios calibrated to the paper's
+		// testbed (see EXPERIMENTS.md).
+		jc.Rows, jc.Cols, jc.Iters, jc.CostPerElem = 512, 512, 250, 600
+		sc.Rows, sc.Cols, sc.Iters, sc.CostPerElem = 512, 512, 250, 600
+		cc.N, cc.Iters, cc.CostPerNnz = 2000, 150, 4600
+		pc.Rows, pc.Cols, pc.Steps, pc.CostPerParticle = 128, 128, 250, 5000
+	}
+	pc.ExtraAllP0 = pc.BasePerCell // "one node had twice as many particles"
+
+	return []fig4Runner{
+		{name: "jacobi", cpNode: 1, run: func(cl *cluster.Cluster, c core.Config) (apps.Result, error) {
+			cfg := jc
+			cfg.Core = c
+			return jacobi.Run(cl, cfg)
+		}},
+		{name: "sor", cpNode: 1, run: func(cl *cluster.Cluster, c core.Config) (apps.Result, error) {
+			cfg := sc
+			cfg.Core = c
+			return sor.Run(cl, cfg)
+		}},
+		{name: "cg", cpNode: 1, run: func(cl *cluster.Cluster, c core.Config) (apps.Result, error) {
+			cfg := cc
+			cfg.Core = c
+			return cg.Run(cl, cfg)
+		}},
+		{name: "particles", cpNode: 0, run: func(cl *cluster.Cluster, c core.Config) (apps.Result, error) {
+			cfg := pc
+			cfg.Core = c
+			return particles.Run(cl, cfg)
+		}},
+	}
+}
+
+// RunFig4 executes the Figure 4 matrix.
+func RunFig4(o Fig4Options) (*Fig4Result, error) {
+	if len(o.Nodes) == 0 {
+		o.Nodes = []int{2, 4, 8}
+	}
+	want := map[string]bool{}
+	for _, a := range o.Apps {
+		want[a] = true
+	}
+	res := &Fig4Result{}
+	for _, r := range fig4Runners(o) {
+		if len(o.Apps) > 0 && !want[r.name] {
+			continue
+		}
+		for _, n := range o.Nodes {
+			cpNode := r.cpNode
+			if cpNode >= n {
+				cpNode = n - 1
+			}
+			ded := cluster.Uniform(n)
+			ded.Seed += o.Seed
+
+			noCfg := core.Config{Adapt: false}
+			dedRes, err := r.run(cluster.New(ded), noCfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s/%d dedicated: %w", r.name, n, err)
+			}
+			nonRes, err := r.run(cluster.New(loadedAtCycle10(n, cpNode, o.Seed)), noCfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s/%d no-adapt: %w", r.name, n, err)
+			}
+			dynCfg := core.DefaultConfig()
+			dynRes, err := r.run(cluster.New(loadedAtCycle10(n, cpNode, o.Seed)), dynCfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s/%d dyn-mpi: %w", r.name, n, err)
+			}
+			res.Rows = append(res.Rows, Fig4Row{
+				App:       r.name,
+				Nodes:     n,
+				Dedicated: dedRes.Elapsed,
+				NoAdapt:   nonRes.Elapsed / dedRes.Elapsed,
+				DynMPI:    dynRes.Elapsed / dedRes.Elapsed,
+				Redists:   dynRes.Redists,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the result in the paper's normalised form.
+func (r *Fig4Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 4: execution time relative to the all-dedicated run (one CP introduced on iteration 10; smaller is better)",
+		Header:  []string{"app", "nodes", "dedicated(s)", "no-adapt", "dyn-mpi", "improvement", "redists"},
+	}
+	for _, row := range r.Rows {
+		imp := (row.NoAdapt - row.DynMPI) / row.DynMPI
+		t.Rows = append(t.Rows, []string{
+			row.App, fmt.Sprint(row.Nodes), f2(row.Dedicated),
+			f2(row.NoAdapt), f2(row.DynMPI), pct(imp), fmt.Sprint(row.Redists),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"mean", "", "", "", "", pct(r.Improvement()), ""})
+	return t
+}

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/vclock"
+)
+
+func sec(s float64) vclock.Time { return vclock.Time(vclock.FromSeconds(s)) }
+
+func statsWith(events ...core.Event) apps.RankStats {
+	return apps.RankStats{Events: events}
+}
+
+func TestRedistWindow(t *testing.T) {
+	st := statsWith(
+		core.Event{Kind: core.EvLoadChange, Cycle: 3, Time: sec(1.0)},
+		core.Event{Kind: core.EvRedistStart, Cycle: 8, Time: sec(2.0)},
+		core.Event{Kind: core.EvRedistEnd, Cycle: 8, Time: sec(2.5)},
+		core.Event{Kind: core.EvRedistStart, Cycle: 20, Time: sec(5.0)},
+		core.Event{Kind: core.EvRedistEnd, Cycle: 20, Time: sec(5.1)},
+	)
+	start, end, cycle, ok := redistWindow(st)
+	if !ok || start != 2.0 || end != 2.5 || cycle != 8 {
+		t.Fatalf("redistWindow = %v %v %v %v", start, end, cycle, ok)
+	}
+	if _, _, _, ok := redistWindow(statsWith()); ok {
+		t.Fatal("empty trace reported a window")
+	}
+}
+
+func TestLastRedistEnd(t *testing.T) {
+	st := statsWith(
+		core.Event{Kind: core.EvRedistEnd, Cycle: 8, Time: sec(2.5)},
+		core.Event{Kind: core.EvRedistEnd, Cycle: 20, Time: sec(5.1)},
+	)
+	s, c, ok := lastRedistEnd(st)
+	if !ok || s != 5.1 || c != 20 {
+		t.Fatalf("lastRedistEnd = %v %v %v", s, c, ok)
+	}
+}
+
+func TestAvgCycleAfterRedist(t *testing.T) {
+	res := apps.Result{
+		Elapsed: 12.0,
+		Stats: []apps.RankStats{
+			statsWith(core.Event{Kind: core.EvRedistEnd, Cycle: 20, Time: sec(2.0)}),
+			statsWith(), // a rank that never redistributed
+		},
+	}
+	avg, ok := avgCycleAfterRedist(res, 120)
+	if !ok {
+		t.Fatal("no average")
+	}
+	want := (12.0 - 2.0) / 100
+	if math.Abs(avg-want) > 1e-12 {
+		t.Fatalf("avg = %v, want %v", avg, want)
+	}
+	// No redistribution anywhere -> not ok.
+	if _, ok := avgCycleAfterRedist(apps.Result{Stats: []apps.RankStats{statsWith()}}, 10); ok {
+		t.Fatal("expected no average without redistribution")
+	}
+	// Redistribution on the final cycle -> no post-redist cycles.
+	res2 := apps.Result{
+		Elapsed: 5,
+		Stats:   []apps.RankStats{statsWith(core.Event{Kind: core.EvRedistEnd, Cycle: 10, Time: sec(5)})},
+	}
+	if _, ok := avgCycleAfterRedist(res2, 10); ok {
+		t.Fatal("expected no average when redistribution ends the run")
+	}
+}
+
+func TestTotalRedistSeconds(t *testing.T) {
+	res := apps.Result{Stats: []apps.RankStats{
+		statsWith(
+			core.Event{Kind: core.EvRedistStart, Time: sec(1.0)},
+			core.Event{Kind: core.EvRedistEnd, Time: sec(1.2)},
+			core.Event{Kind: core.EvRedistStart, Time: sec(4.0)},
+			core.Event{Kind: core.EvRedistEnd, Time: sec(4.3)},
+		),
+		statsWith(
+			core.Event{Kind: core.EvRedistStart, Time: sec(1.0)},
+			core.Event{Kind: core.EvRedistEnd, Time: sec(1.1)},
+		),
+	}}
+	got := totalRedistSeconds(res)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("totalRedistSeconds = %v, want 0.5 (slowest rank)", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if f2(1.234) != "1.23" || f3(1.2345) != "1.234" {
+		t.Fatal("float formatters")
+	}
+	if pct(0.256) != "26%" {
+		t.Fatalf("pct = %s", pct(0.256))
+	}
+	if pad("ab", 4) != "ab  " || pad("abcd", 2) != "abcd" {
+		t.Fatal("pad")
+	}
+}

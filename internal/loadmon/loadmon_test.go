@@ -1,0 +1,90 @@
+package loadmon
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/vclock"
+)
+
+func TestReadingIncludesApp(t *testing.T) {
+	cl := cluster.New(cluster.Uniform(1))
+	m := New(cl.Node(0))
+	if m.Reading() != 1 {
+		t.Fatalf("idle node reading = %d, want 1 (the app itself)", m.Reading())
+	}
+	if m.CompetingProcesses() != 0 {
+		t.Fatal("CPs on idle node")
+	}
+}
+
+func TestSamplingDelay(t *testing.T) {
+	// CP starts at t=1.5s; the daemon refreshes each second, so it is
+	// invisible until the node's clock passes 2s.
+	spec := cluster.Uniform(1).With(cluster.TimeEvent(0, vclock.Time(1500*vclock.Millisecond), +1))
+	cl := cluster.New(spec)
+	n := cl.Node(0)
+	m := New(n)
+	n.WaitUntil(vclock.Time(1600 * vclock.Millisecond))
+	if m.CompetingProcesses() != 0 {
+		t.Fatal("CP visible before daemon refresh")
+	}
+	n.WaitUntil(vclock.Time(2100 * vclock.Millisecond))
+	if m.CompetingProcesses() != 1 {
+		t.Fatal("CP not visible after daemon refresh")
+	}
+}
+
+func TestCustomInterval(t *testing.T) {
+	spec := cluster.Uniform(1).With(cluster.TimeEvent(0, vclock.Time(110*vclock.Millisecond), +1))
+	cl := cluster.New(spec)
+	n := cl.Node(0)
+	m := NewWithInterval(n, 100*vclock.Millisecond)
+	n.WaitUntil(vclock.Time(150 * vclock.Millisecond))
+	if m.CompetingProcesses() != 0 {
+		t.Fatal("visible too early")
+	}
+	n.WaitUntil(vclock.Time(250 * vclock.Millisecond))
+	if m.CompetingProcesses() != 1 {
+		t.Fatal("not visible after tick")
+	}
+}
+
+func TestBadIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewWithInterval(cluster.New(cluster.Uniform(1)).Node(0), 0)
+}
+
+func TestVmstatMissesBlockedApp(t *testing.T) {
+	spec := cluster.Uniform(1).With(cluster.TimeEvent(0, 0, +1))
+	cl := cluster.New(spec)
+	n := cl.Node(0)
+	n.WaitUntil(vclock.Time(vclock.Second))
+	m := New(n)
+	// dmpi_ps always counts the app; vmstat misses it while blocked.
+	if m.Reading() != 2 {
+		t.Fatalf("dmpi_ps reading = %d, want 2", m.Reading())
+	}
+	if m.VmstatReading(false) != 1 {
+		t.Fatalf("vmstat with blocked app = %d, want 1", m.VmstatReading(false))
+	}
+	if m.VmstatReading(true) != 2 {
+		t.Fatalf("vmstat with running app = %d, want 2", m.VmstatReading(true))
+	}
+}
+
+func TestChanged(t *testing.T) {
+	if Changed([]int{0, 1}, []int{0, 1}) {
+		t.Fatal("identical vectors reported changed")
+	}
+	if !Changed([]int{0, 1}, []int{1, 1}) {
+		t.Fatal("changed vector not detected")
+	}
+	if !Changed([]int{0}, []int{0, 0}) {
+		t.Fatal("length change not detected")
+	}
+}

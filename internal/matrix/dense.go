@@ -1,0 +1,222 @@
+// Package matrix implements Dyn-MPI's memory-allocation schemes for
+// redistributable arrays (paper §4.1).
+//
+// Dense N-dimensional arrays are projected onto two dimensions: the first
+// (distributed) dimension indexes "extended rows" whose length is the
+// product of the remaining dimensions. Two allocation schemes are provided:
+//
+//   - Projection (the paper's scheme): a top-level vector of row pointers.
+//     Changing the resident window copies only the top-level vector and
+//     allocates/frees individual rows; retained rows are reused in place.
+//   - Contiguous (the baseline): one flat backing array. Any change to the
+//     resident window reallocates and copies the whole local block, which
+//     for large arrays causes the excessive memory traffic (and paging)
+//     the paper's technical report measures.
+//
+// Sparse matrices (sparse.go) use a vector of linked lists of
+// (column, value) pairs, making their redistribution nearly identical to
+// the dense case.
+//
+// All structural operations optionally charge their cost to a CostSink
+// (in practice a cluster.Node), so allocation policy differences are
+// visible in virtual time.
+package matrix
+
+import "fmt"
+
+// Alloc selects the dense allocation scheme.
+type Alloc int
+
+const (
+	// Projection is the paper's 2-D projection scheme (vector of rows).
+	Projection Alloc = iota
+	// Contiguous is the flat-array baseline requiring full reallocation.
+	Contiguous
+)
+
+// String names the allocation scheme.
+func (a Alloc) String() string {
+	switch a {
+	case Projection:
+		return "projection"
+	case Contiguous:
+		return "contiguous"
+	default:
+		return fmt.Sprintf("Alloc(%d)", int(a))
+	}
+}
+
+// CostSink receives the virtual cost of memory operations. cluster.Node
+// implements it; a nil sink disables cost accounting (pure data structure).
+type CostSink interface {
+	// ChargeTouch charges writing/copying bytes of memory.
+	ChargeTouch(bytes int64)
+	// AdjustResident tracks allocated application bytes for the paging model.
+	AdjustResident(delta int64)
+}
+
+// Dense is one rank's resident window of a block-distributed dense array.
+// Global row indices lo..hi-1 are resident (owned rows plus ghost rows
+// required by the phase's array accesses).
+type Dense struct {
+	Name       string
+	GlobalRows int
+	RowLen     int // product of the non-distributed dimensions
+
+	scheme Alloc
+	sink   CostSink
+
+	lo, hi int
+	rows   [][]float64 // rows[g-lo] is global row g
+	flat   []float64   // backing storage when scheme == Contiguous
+}
+
+// NewDense creates an empty dense array descriptor; call SetWindow to make
+// rows resident. sink may be nil.
+func NewDense(name string, globalRows, rowLen int, scheme Alloc, sink CostSink) *Dense {
+	if globalRows <= 0 || rowLen <= 0 {
+		panic(fmt.Sprintf("matrix: bad dense shape %dx%d", globalRows, rowLen))
+	}
+	return &Dense{Name: name, GlobalRows: globalRows, RowLen: rowLen, scheme: scheme, sink: sink}
+}
+
+// Scheme reports the allocation scheme in use.
+func (d *Dense) Scheme() Alloc { return d.scheme }
+
+// Lo returns the first resident global row.
+func (d *Dense) Lo() int { return d.lo }
+
+// Hi returns one past the last resident global row.
+func (d *Dense) Hi() int { return d.hi }
+
+// Resident reports whether global row g is resident.
+func (d *Dense) Resident(g int) bool { return g >= d.lo && g < d.hi }
+
+// RowBytes is the wire/memory size of one extended row.
+func (d *Dense) RowBytes() int64 { return int64(d.RowLen) * 8 }
+
+// Row returns global row g. It panics if g is not resident — out-of-window
+// access is always an ownership bug in the caller.
+func (d *Dense) Row(g int) []float64 {
+	if g < d.lo || g >= d.hi {
+		panic(fmt.Sprintf("matrix: %s row %d outside resident window [%d,%d)", d.Name, g, d.lo, d.hi))
+	}
+	return d.rows[g-d.lo]
+}
+
+// SetWindow resizes the resident window to [lo,hi), preserving the contents
+// of rows resident both before and after. Newly resident rows are
+// zero-valued. The virtual cost charged depends on the allocation scheme:
+// Projection pays a top-vector copy plus allocation of the new rows only;
+// Contiguous pays a full reallocation and copy of every retained row.
+func (d *Dense) SetWindow(lo, hi int) {
+	if lo < 0 || hi > d.GlobalRows || lo > hi {
+		panic(fmt.Sprintf("matrix: %s bad window [%d,%d) of %d", d.Name, lo, hi, d.GlobalRows))
+	}
+	oldLo, oldHi, oldRows := d.lo, d.hi, d.rows
+	n := hi - lo
+	newRows := make([][]float64, n)
+
+	keepLo, keepHi := maxInt(lo, oldLo), minInt(hi, oldHi) // retained global range
+	retained := maxInt(0, keepHi-keepLo)
+
+	switch d.scheme {
+	case Projection:
+		// Reuse retained row storage; allocate fresh rows elsewhere.
+		for g := keepLo; g < keepHi; g++ {
+			newRows[g-lo] = oldRows[g-oldLo]
+		}
+		var newBytes int64
+		for i := range newRows {
+			if newRows[i] == nil {
+				newRows[i] = make([]float64, d.RowLen)
+				newBytes += d.RowBytes()
+			}
+		}
+		if d.sink != nil {
+			// Top-level vector copy (8 bytes per pointer) plus zeroing the
+			// newly allocated rows.
+			d.sink.AdjustResident(newBytes - int64(oldHi-oldLo-retained)*d.RowBytes())
+			d.sink.ChargeTouch(int64(n)*8 + newBytes)
+		}
+	case Contiguous:
+		flat := make([]float64, n*d.RowLen)
+		for i := range newRows {
+			newRows[i] = flat[i*d.RowLen : (i+1)*d.RowLen : (i+1)*d.RowLen]
+		}
+		for g := keepLo; g < keepHi; g++ {
+			copy(newRows[g-lo], oldRows[g-oldLo])
+		}
+		d.flat = flat
+		if d.sink != nil {
+			// Whole-block reallocation: every retained row is copied and the
+			// full new block is touched.
+			d.sink.AdjustResident(int64(n-(oldHi-oldLo)) * d.RowBytes())
+			d.sink.ChargeTouch(int64(n)*d.RowBytes() + int64(retained)*d.RowBytes())
+		}
+	default:
+		panic("matrix: unknown allocation scheme")
+	}
+	d.lo, d.hi, d.rows = lo, hi, newRows
+}
+
+// TakeRow detaches and returns global row g's storage for sending; the row
+// remains resident but its contents are considered surrendered. With the
+// Projection scheme this is zero-copy; with Contiguous the row must be
+// copied out (charged).
+func (d *Dense) TakeRow(g int) []float64 {
+	r := d.Row(g)
+	if d.scheme == Contiguous {
+		out := make([]float64, d.RowLen)
+		copy(out, r)
+		if d.sink != nil {
+			d.sink.ChargeTouch(d.RowBytes())
+		}
+		return out
+	}
+	return r
+}
+
+// PutRow installs data as global row g (receive side). With Projection the
+// incoming buffer is adopted directly when it has the right length;
+// Contiguous must copy into the flat backing.
+func (d *Dense) PutRow(g int, data []float64) {
+	if len(data) != d.RowLen {
+		panic(fmt.Sprintf("matrix: %s PutRow length %d != %d", d.Name, len(data), d.RowLen))
+	}
+	if g < d.lo || g >= d.hi {
+		panic(fmt.Sprintf("matrix: %s PutRow %d outside window [%d,%d)", d.Name, g, d.lo, d.hi))
+	}
+	if d.scheme == Projection {
+		d.rows[g-d.lo] = data
+		return
+	}
+	copy(d.rows[g-d.lo], data)
+	if d.sink != nil {
+		d.sink.ChargeTouch(d.RowBytes())
+	}
+}
+
+// Fill sets every resident row from f(globalRow, col).
+func (d *Dense) Fill(f func(g, j int) float64) {
+	for g := d.lo; g < d.hi; g++ {
+		row := d.rows[g-d.lo]
+		for j := range row {
+			row[j] = f(g, j)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,229 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func buildSparse(t *testing.T, rows int) *Sparse {
+	t.Helper()
+	s := NewSparse("M", rows, nil)
+	s.SetWindow(0, rows)
+	for g := 0; g < rows; g++ {
+		for k := 0; k <= g%4; k++ {
+			s.Append(g, int32(k*3), float64(g*100+k))
+		}
+	}
+	return s
+}
+
+func TestSparseAppendAndLen(t *testing.T) {
+	s := buildSparse(t, 8)
+	for g := 0; g < 8; g++ {
+		if s.RowLen(g) != g%4+1 {
+			t.Fatalf("row %d len %d", g, s.RowLen(g))
+		}
+	}
+	if s.NNZ() != 2*(1+2+3+4) {
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+}
+
+func TestSparseRowTraversal(t *testing.T) {
+	s := buildSparse(t, 8)
+	e := s.RowHead(7) // 4 elements
+	for k := 0; k < 4; k++ {
+		if e == nil {
+			t.Fatal("short row")
+		}
+		if e.Col != int32(k*3) || e.Val != float64(700+k) {
+			t.Fatalf("elem %d = (%d,%v)", k, e.Col, e.Val)
+		}
+		e = e.Next()
+	}
+	if e != nil {
+		t.Fatal("long row")
+	}
+}
+
+func TestIteratorFullWalk(t *testing.T) {
+	s := buildSparse(t, 6)
+	it := s.NewIter()
+	count := 0
+	for {
+		for it.Valid() {
+			count++
+			it.NextElem()
+		}
+		if !it.AdvanceRow() {
+			break
+		}
+	}
+	if count != s.NNZ() {
+		t.Fatalf("iterator visited %d of %d", count, s.NNZ())
+	}
+}
+
+func TestIteratorSetVal(t *testing.T) {
+	s := buildSparse(t, 4)
+	it := s.NewIter()
+	it.SetVal(-1)
+	if s.RowHead(0).Val != -1 {
+		t.Fatal("SetVal did not stick")
+	}
+	it.NextElem()
+	if it.Valid() {
+		t.Fatal("row 0 has one element; iterator should be exhausted")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SetVal on exhausted iterator did not panic")
+			}
+		}()
+		it.SetVal(0)
+	}()
+}
+
+func TestIteratorMoveToFirst(t *testing.T) {
+	s := buildSparse(t, 4)
+	it := s.NewIter()
+	it.AdvanceRow()
+	it.AdvanceRow()
+	it.MoveToFirst()
+	if it.Row() != 0 || !it.Valid() {
+		t.Fatal("MoveToFirst did not reset")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	s := buildSparse(t, 8)
+	d := NewSparse("D", 8, nil)
+	d.SetWindow(0, 8)
+	for g := 0; g < 8; g++ {
+		p := s.PackRow(g)
+		if p.WireBytes() != 8+12*s.RowLen(g) {
+			t.Fatalf("WireBytes = %d", p.WireBytes())
+		}
+		d.UnpackRow(g, p)
+	}
+	for g := 0; g < 8; g++ {
+		a, b := s.RowHead(g), d.RowHead(g)
+		for a != nil || b != nil {
+			if a == nil || b == nil || a.Col != b.Col || a.Val != b.Val {
+				t.Fatalf("row %d differs after round trip", g)
+			}
+			a, b = a.Next(), b.Next()
+		}
+	}
+}
+
+func TestUnpackReplacesRow(t *testing.T) {
+	s := NewSparse("M", 2, nil)
+	s.SetWindow(0, 2)
+	s.Append(0, 1, 10)
+	s.Append(0, 2, 20)
+	s.UnpackRow(0, PackedRow{Cols: []int32{9}, Vals: []float64{99}})
+	if s.RowLen(0) != 1 || s.RowHead(0).Col != 9 {
+		t.Fatal("UnpackRow did not replace contents")
+	}
+}
+
+func TestUnpackRaggedPanics(t *testing.T) {
+	s := NewSparse("M", 1, nil)
+	s.SetWindow(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.UnpackRow(0, PackedRow{Cols: []int32{1}, Vals: nil})
+}
+
+func TestSparseWindowRetainsRows(t *testing.T) {
+	s := buildSparse(t, 10)
+	s.SetWindow(4, 10)
+	if s.RowLen(7) != 7%4+1 {
+		t.Fatal("retained row lost elements")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("dropped row should be inaccessible")
+			}
+		}()
+		s.RowLen(2)
+	}()
+}
+
+func TestClearRow(t *testing.T) {
+	sink := &recordSink{}
+	s := NewSparse("M", 2, sink)
+	s.SetWindow(0, 2)
+	s.Append(0, 1, 1)
+	s.Append(0, 2, 2)
+	s.ClearRow(0)
+	if s.RowLen(0) != 0 {
+		t.Fatal("ClearRow left elements")
+	}
+	if sink.resident != 0 {
+		t.Fatalf("resident after clear = %d", sink.resident)
+	}
+}
+
+func TestSparseResidentAccountingBalances(t *testing.T) {
+	sink := &recordSink{}
+	s := NewSparse("M", 20, sink)
+	s.SetWindow(0, 20)
+	for g := 0; g < 20; g++ {
+		s.Append(g, 0, 1)
+		s.Append(g, 1, 2)
+	}
+	s.SetWindow(5, 10)
+	s.SetWindow(0, 0)
+	if sink.resident != 0 {
+		t.Fatalf("resident leaks %d", sink.resident)
+	}
+}
+
+// Property: pack/unpack is the identity on arbitrary rows.
+func TestPackUnpackProperty(t *testing.T) {
+	f := func(cols []int32, vals []float64) bool {
+		n := len(cols)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		s := NewSparse("M", 1, nil)
+		s.SetWindow(0, 1)
+		for i := 0; i < n; i++ {
+			s.Append(0, cols[i], vals[i])
+		}
+		p := s.PackRow(0)
+		d := NewSparse("D", 1, nil)
+		d.SetWindow(0, 1)
+		d.UnpackRow(0, p)
+		if d.RowLen(0) != n {
+			return false
+		}
+		e := d.RowHead(0)
+		for i := 0; i < n; i++ {
+			if e.Col != cols[i] || !(e.Val == vals[i] || (e.Val != e.Val && vals[i] != vals[i])) {
+				return false
+			}
+			e = e.Next()
+		}
+		return e == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSparse("M", 0, nil)
+}

@@ -1,0 +1,603 @@
+// Package mpi is a pure-Go message-passing substrate with MPI-like
+// semantics, used as the transport underneath the Dyn-MPI runtime. Ranks
+// are goroutines inside one process; messages carry real data; every
+// operation advances the virtual clocks of the participating nodes
+// according to the cluster's network model.
+//
+// Cost model (see cluster.NetParams): a message of b bytes is available to
+// the receiver Latency + b/BytesPerSec after the send; in addition each
+// side spends CPUPerMsg + b*CPUPerByte of CPU. The CPU component runs under
+// the node's scheduler and is therefore inflated by competing processes —
+// the effect that makes communication-aware data distributions necessary.
+//
+// Point-to-point operations are eager (buffered): Send completes once the
+// local CPU work is done; Recv blocks until a matching message is available
+// on the virtual clock. Collectives operate on a Group (a subset of world
+// ranks) and leave all participants at a common completion time, modelling
+// a binomial-tree implementation.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/vclock"
+)
+
+// AnySource matches a message from any sender in Recv.
+const AnySource = -1
+
+// AnyTag matches a message with any tag in Recv.
+const AnyTag = -1
+
+// errFailed is the panic value used to unwind ranks when the world has
+// failed; Run converts it back into the original error.
+var errFailed = errors.New("mpi: world failed")
+
+// envelope is one in-flight message.
+type envelope struct {
+	src, tag int
+	payload  any
+	bytes    int
+	avail    vclock.Time // when the data has fully arrived at the receiver
+}
+
+// mailbox is one rank's incoming queue with condition-variable matching.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*envelope
+}
+
+// World owns the shared state of one simulated run: mailboxes, the default
+// all-ranks group, and failure propagation.
+type World struct {
+	cl     *cluster.Cluster
+	n      int
+	boxes  []*mailbox
+	all    *Group
+	failed atomic.Bool
+	errMu  sync.Mutex
+	err    error
+	groups struct {
+		sync.Mutex
+		list  []*Group
+		byKey map[string]*Group
+	}
+}
+
+// NewWorld creates a world with one rank per cluster node.
+func NewWorld(cl *cluster.Cluster) *World {
+	w := &World{cl: cl, n: cl.N()}
+	w.boxes = make([]*mailbox, w.n)
+	for i := range w.boxes {
+		b := &mailbox{}
+		b.cond = sync.NewCond(&b.mu)
+		w.boxes[i] = b
+	}
+	members := make([]int, w.n)
+	for i := range members {
+		members[i] = i
+	}
+	w.all = w.NewGroup(members)
+	return w
+}
+
+// N reports the number of ranks.
+func (w *World) N() int { return w.n }
+
+// Cluster returns the underlying cluster model.
+func (w *World) Cluster() *cluster.Cluster { return w.cl }
+
+// fail records the first error and wakes every blocked rank so the whole
+// world unwinds instead of deadlocking.
+func (w *World) fail(err error) {
+	w.errMu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.errMu.Unlock()
+	w.failed.Store(true)
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+	w.groups.Lock()
+	for _, g := range w.groups.list {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+	w.groups.Unlock()
+}
+
+// Err returns the first error recorded by fail.
+func (w *World) Err() error {
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.err
+}
+
+// Comm is one rank's endpoint. All methods must be called from the rank's
+// own goroutine.
+type Comm struct {
+	w    *World
+	rank int
+	node *cluster.Node
+
+	// Traffic counters, maintained by this rank only.
+	SentMsgs, SentBytes int64
+	RecvMsgs, RecvBytes int64
+}
+
+// NewComm returns rank r's endpoint. Typically Run constructs these.
+func (w *World) NewComm(r int) *Comm {
+	return &Comm{w: w, rank: r, node: w.cl.Node(r)}
+}
+
+// Rank reports this endpoint's world rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the world size.
+func (c *Comm) Size() int { return c.w.n }
+
+// Node returns the cluster node this rank runs on.
+func (c *Comm) Node() *cluster.Node { return c.node }
+
+// World returns the communicator's world.
+func (c *Comm) World() *World { return c.w }
+
+// Now reports the rank's current virtual time.
+func (c *Comm) Now() vclock.Time { return c.node.Now() }
+
+func (c *Comm) checkFailed() {
+	if c.w.failed.Load() {
+		panic(errFailed)
+	}
+}
+
+// cpuCost returns the per-side CPU cost of transferring b bytes.
+func cpuCost(net cluster.NetParams, b int) vclock.Duration {
+	return net.CPUPerMsg + vclock.Duration(float64(b)*net.CPUPerByte)
+}
+
+// wireTime returns the latency+bandwidth component for b bytes.
+func wireTime(net cluster.NetParams, b int) vclock.Duration {
+	return net.Latency + vclock.FromSeconds(float64(b)/net.BytesPerSec)
+}
+
+// Send transfers payload (bytes long on the wire) to rank dst with the
+// given tag. The payload is handed over by reference: the sender must not
+// mutate it afterwards (ownership transfer, as in a zero-copy MPI).
+func (c *Comm) Send(dst, tag int, payload any, bytes int) {
+	c.checkFailed()
+	if dst < 0 || dst >= c.w.n {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	net := c.w.cl.Net()
+	c.node.Compute(cpuCost(net, bytes))
+	env := &envelope{
+		src:     c.rank,
+		tag:     tag,
+		payload: payload,
+		bytes:   bytes,
+		avail:   c.node.Now().Add(wireTime(net, bytes)),
+	}
+	c.SentMsgs++
+	c.SentBytes += int64(bytes)
+	box := c.w.boxes[dst]
+	box.mu.Lock()
+	box.queue = append(box.queue, env)
+	box.cond.Broadcast()
+	box.mu.Unlock()
+}
+
+// Status describes a received message.
+type Status struct {
+	Source int
+	Tag    int
+	Bytes  int
+}
+
+// Recv blocks until a message matching (src, tag) is available, advances
+// the virtual clock to its arrival, charges receive-side CPU, and returns
+// the payload. src may be AnySource and tag AnyTag; note that AnySource
+// matching order depends on physical goroutine scheduling and is therefore
+// only deterministic when at most one candidate sender exists.
+func (c *Comm) Recv(src, tag int) (any, Status) {
+	c.checkFailed()
+	box := c.w.boxes[c.rank]
+	box.mu.Lock()
+	var env *envelope
+	for {
+		idx := -1
+		for i, e := range box.queue {
+			if (src == AnySource || e.src == src) && (tag == AnyTag || e.tag == tag) {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 {
+			env = box.queue[idx]
+			box.queue = append(box.queue[:idx], box.queue[idx+1:]...)
+			break
+		}
+		if c.w.failed.Load() {
+			box.mu.Unlock()
+			panic(errFailed)
+		}
+		box.cond.Wait()
+	}
+	box.mu.Unlock()
+	c.node.WaitUntil(env.avail)
+	c.node.Compute(cpuCost(c.w.cl.Net(), env.bytes))
+	c.RecvMsgs++
+	c.RecvBytes += int64(env.bytes)
+	return env.payload, Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}
+}
+
+// RecvF64s receives a []float64 payload, panicking on type mismatch.
+func (c *Comm) RecvF64s(src, tag int) ([]float64, Status) {
+	p, st := c.Recv(src, tag)
+	v, ok := p.([]float64)
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d expected []float64 from %d tag %d, got %T", c.rank, st.Source, st.Tag, p))
+	}
+	return v, st
+}
+
+// F64Bytes reports the wire size of n float64 values.
+func F64Bytes(n int) int { return 8 * n }
+
+// Abort fails the whole world with err and unwinds the calling rank.
+func (c *Comm) Abort(err error) {
+	c.w.fail(err)
+	panic(errFailed)
+}
+
+// --- SPMD harness --------------------------------------------------------
+
+// Run spawns one goroutine per cluster node executing fn and waits for all
+// of them. The first error (returned or panicked) aborts the whole world.
+func Run(cl *cluster.Cluster, fn func(*Comm) error) error {
+	w := NewWorld(cl)
+	return w.Run(fn)
+}
+
+// Run executes fn on every rank of an existing world.
+func (w *World) Run(fn func(*Comm) error) error {
+	var wg sync.WaitGroup
+	for r := 0; r < w.n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			comm := w.NewComm(rank)
+			defer func() {
+				if p := recover(); p != nil {
+					if err, ok := p.(error); ok && errors.Is(err, errFailed) {
+						return // unwound by another rank's failure
+					}
+					w.fail(fmt.Errorf("rank %d panicked: %v", rank, p))
+				}
+			}()
+			if err := fn(comm); err != nil {
+				w.fail(fmt.Errorf("rank %d: %w", rank, err))
+			}
+		}(r)
+	}
+	wg.Wait()
+	return w.Err()
+}
+
+// --- groups and collectives ----------------------------------------------
+
+// Group is a subset of world ranks that participates in collectives
+// together. All members must call each collective in the same order.
+type Group struct {
+	w       *World
+	members []int       // world ranks
+	slot    map[int]int // world rank -> index in members
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	seq        []int64 // per-slot local op counter (written only by owner)
+	collecting map[int64]*pending
+	results    map[int64]*opResult
+}
+
+type pending struct {
+	arrived  int
+	times    []vclock.Time
+	contribs []any
+}
+
+type opResult struct {
+	value     any
+	finish    vclock.Time
+	cpuEach   vclock.Duration
+	remaining int
+}
+
+// NewGroup returns the collective group over the given world ranks. Groups
+// are canonical: every rank asking for the same member list receives the
+// *same* Group object, which is what lets SPMD ranks rebuild a group after
+// a membership change and still meet in its collectives.
+func (w *World) NewGroup(members []int) *Group {
+	if len(members) == 0 {
+		panic("mpi: empty group")
+	}
+	key := fmt.Sprint(members)
+	w.groups.Lock()
+	if w.groups.byKey == nil {
+		w.groups.byKey = make(map[string]*Group)
+	}
+	if g, ok := w.groups.byKey[key]; ok {
+		w.groups.Unlock()
+		return g
+	}
+	w.groups.Unlock()
+	g := &Group{
+		w:          w,
+		members:    append([]int(nil), members...),
+		slot:       make(map[int]int, len(members)),
+		seq:        make([]int64, len(members)),
+		collecting: make(map[int64]*pending),
+		results:    make(map[int64]*opResult),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	for i, m := range members {
+		if _, dup := g.slot[m]; dup {
+			panic(fmt.Sprintf("mpi: duplicate rank %d in group", m))
+		}
+		g.slot[m] = i
+	}
+	w.groups.Lock()
+	if prior, ok := w.groups.byKey[key]; ok {
+		// Another rank registered the same group concurrently; use theirs.
+		w.groups.Unlock()
+		return prior
+	}
+	w.groups.byKey[key] = g
+	w.groups.list = append(w.groups.list, g)
+	w.groups.Unlock()
+	return g
+}
+
+// AllGroup returns the group containing every world rank.
+func (w *World) AllGroup() *Group { return w.all }
+
+// Members returns the group's world ranks (callers must not mutate).
+func (g *Group) Members() []int { return g.members }
+
+// Size reports the number of group members.
+func (g *Group) Size() int { return len(g.members) }
+
+// Slot reports rank's index within the group and whether it is a member.
+func (g *Group) Slot(rank int) (int, bool) {
+	s, ok := g.slot[rank]
+	return s, ok
+}
+
+// steps returns the binomial-tree depth for the group size.
+func (g *Group) steps() int {
+	if len(g.members) <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(len(g.members)))))
+}
+
+// reduceFn combines all members' arrival times and contributions into the
+// op's result value, completion time, and per-member CPU charge.
+type reduceFn func(times []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration)
+
+// rendezvous is the generic collective: every member deposits a
+// contribution; the last to arrive runs reduce; everyone leaves with the
+// result, their clock advanced to the completion time plus the CPU charge.
+func (c *Comm) rendezvous(g *Group, contrib any, reduce reduceFn) any {
+	c.checkFailed()
+	slot, ok := g.slot[c.rank]
+	if !ok {
+		panic(fmt.Sprintf("mpi: rank %d not in group", c.rank))
+	}
+	seq := g.seq[slot]
+	g.seq[slot]++
+
+	g.mu.Lock()
+	p := g.collecting[seq]
+	if p == nil {
+		p = &pending{
+			times:    make([]vclock.Time, len(g.members)),
+			contribs: make([]any, len(g.members)),
+		}
+		g.collecting[seq] = p
+	}
+	p.times[slot] = c.node.Now()
+	p.contribs[slot] = contrib
+	p.arrived++
+	if p.arrived == len(g.members) {
+		// Run the reduction outside the lock: every contribution is in and
+		// immutable, and a panicking reduction (bad payload shapes) must
+		// fail the world rather than deadlock it by unwinding with the
+		// mutex held.
+		delete(g.collecting, seq)
+		g.mu.Unlock()
+		value, finish, cpu, err := safeReduce(reduce, p.times, p.contribs)
+		if err != nil {
+			c.w.fail(fmt.Errorf("rank %d: collective reduction: %w", c.rank, err))
+			panic(errFailed)
+		}
+		g.mu.Lock()
+		g.results[seq] = &opResult{value: value, finish: finish, cpuEach: cpu, remaining: len(g.members)}
+		g.cond.Broadcast()
+	} else {
+		for g.results[seq] == nil {
+			if c.w.failed.Load() {
+				g.mu.Unlock()
+				panic(errFailed)
+			}
+			g.cond.Wait()
+		}
+	}
+	r := g.results[seq]
+	r.remaining--
+	if r.remaining == 0 {
+		delete(g.results, seq)
+	}
+	g.mu.Unlock()
+
+	c.node.WaitUntil(r.finish)
+	if r.cpuEach > 0 {
+		c.node.Compute(r.cpuEach)
+	}
+	return r.value
+}
+
+// safeReduce runs a reduction, converting panics into errors.
+func safeReduce(reduce reduceFn, times []vclock.Time, contribs []any) (value any, finish vclock.Time, cpu vclock.Duration, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	value, finish, cpu = reduce(times, contribs)
+	return value, finish, cpu, nil
+}
+
+// maxTime returns the latest of ts.
+func maxTime(ts []vclock.Time) vclock.Time {
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Barrier synchronises the group.
+func (c *Comm) Barrier(g *Group) {
+	net := c.w.cl.Net()
+	steps := g.steps()
+	c.rendezvous(g, nil, func(ts []vclock.Time, _ []any) (any, vclock.Time, vclock.Duration) {
+		finish := maxTime(ts).Add(vclock.Duration(steps) * net.Latency)
+		return nil, finish, vclock.Duration(steps) * net.CPUPerMsg
+	})
+}
+
+// Bcast distributes the root's payload (of the given wire size) to every
+// group member and returns it. root is a world rank.
+func (c *Comm) Bcast(g *Group, root int, payload any, bytes int) any {
+	net := c.w.cl.Net()
+	steps := g.steps()
+	rootSlot, ok := g.slot[root]
+	if !ok {
+		panic(fmt.Sprintf("mpi: bcast root %d not in group", root))
+	}
+	var contrib any
+	if c.rank == root {
+		contrib = payload
+	}
+	return c.rendezvous(g, contrib, func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
+		per := wireTime(net, bytes)
+		finish := maxTime(ts).Add(vclock.Duration(steps) * per)
+		return contribs[rootSlot], finish, vclock.Duration(steps) * cpuCost(net, bytes)
+	})
+}
+
+// AllreduceF64s performs an element-wise reduction of each member's vector
+// with op and returns the reduced vector (a fresh slice) on every member.
+func (c *Comm) AllreduceF64s(g *Group, vals []float64, op func(a, b float64) float64) []float64 {
+	net := c.w.cl.Net()
+	steps := g.steps()
+	bytes := F64Bytes(len(vals))
+	res := c.rendezvous(g, vals, func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
+		out := append([]float64(nil), contribs[0].([]float64)...)
+		for _, cb := range contribs[1:] {
+			v := cb.([]float64)
+			if len(v) != len(out) {
+				panic("mpi: allreduce length mismatch")
+			}
+			for i := range out {
+				out[i] = op(out[i], v[i])
+			}
+		}
+		per := wireTime(net, bytes)
+		finish := maxTime(ts).Add(vclock.Duration(steps) * per)
+		return out, finish, vclock.Duration(steps) * cpuCost(net, bytes)
+	})
+	return res.([]float64)
+}
+
+// Sum and Max are common allreduce operators.
+func Sum(a, b float64) float64 { return a + b }
+
+// Max returns the larger of a and b (allreduce operator).
+func Max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AllreduceSum reduces a single value by summation.
+func (c *Comm) AllreduceSum(g *Group, v float64) float64 {
+	return c.AllreduceF64s(g, []float64{v}, Sum)[0]
+}
+
+// AllreduceMax reduces a single value by maximum.
+func (c *Comm) AllreduceMax(g *Group, v float64) float64 {
+	return c.AllreduceF64s(g, []float64{v}, Max)[0]
+}
+
+// Allgather collects every member's contribution, ordered by group slot,
+// on every member. bytes is the wire size of one contribution.
+func (c *Comm) Allgather(g *Group, contrib any, bytes int) []any {
+	net := c.w.cl.Net()
+	steps := g.steps()
+	res := c.rendezvous(g, contrib, func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
+		out := append([]any(nil), contribs...)
+		// Recursive doubling: in step k each node exchanges 2^k
+		// contributions, so the dominant cost is the last step carrying
+		// half the total payload.
+		total := bytes * len(g.members)
+		per := wireTime(net, total/2+bytes)
+		finish := maxTime(ts).Add(vclock.Duration(steps) * per)
+		return out, finish, vclock.Duration(steps) * cpuCost(net, total/2+bytes)
+	})
+	return res.([]any)
+}
+
+// AllgatherF64 gathers one float64 per member, ordered by slot.
+func (c *Comm) AllgatherF64(g *Group, v float64) []float64 {
+	parts := c.Allgather(g, v, 8)
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		out[i] = p.(float64)
+	}
+	return out
+}
+
+// AllgatherInt gathers one int per member, ordered by slot.
+func (c *Comm) AllgatherInt(g *Group, v int) []int {
+	parts := c.Allgather(g, v, 8)
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		out[i] = p.(int)
+	}
+	return out
+}
+
+// Gather collects contributions on root (world rank); root receives the
+// slot-ordered slice, everyone else nil.
+func (c *Comm) Gather(g *Group, root int, contrib any, bytes int) []any {
+	all := c.Allgather(g, contrib, bytes) // gather modelled as allgather; cost shape is close enough
+	if c.rank != root {
+		return nil
+	}
+	return all
+}

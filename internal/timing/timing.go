@@ -1,0 +1,187 @@
+// Package timing implements Dyn-MPI's computation-timing machinery
+// (paper §4.2). To choose a good distribution the runtime needs the *true,
+// unloaded* execution time of every iteration, measured while the node may
+// be loaded. Two mechanisms exist:
+//
+//   - /PROC: per-process CPU time. Immune to competing processes but only
+//     10 ms granular, so useless for short iterations.
+//   - gethrtime: high-resolution wallclock. Arbitrarily fine, but includes
+//     time stolen by other processes; an iteration that spans a
+//     context-switch boundary absorbs a whole competing timeslice. The
+//     cure is to measure the same iteration over several phase cycles (the
+//     grace period) and take the minimum.
+//
+// Collector implements both, selecting per iteration exactly as the paper
+// does: /PROC when the iteration runs 10 ms or longer, min-filtered
+// wallclock otherwise.
+package timing
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/vclock"
+)
+
+// ProcGranularity is the /PROC CPU-time resolution.
+const ProcGranularity = 10 * vclock.Millisecond
+
+// DefaultGracePeriod is the number of phase cycles measured before
+// computing a distribution ("five phase cycle iterations").
+const DefaultGracePeriod = 5
+
+// DefaultPostRedistGrace is the monitoring period after a redistribution
+// used by the drop decision ("currently ten phase cycle iterations").
+const DefaultPostRedistGrace = 10
+
+// quantize truncates d to the /PROC granularity.
+func quantize(d vclock.Duration) vclock.Duration {
+	return d - d%ProcGranularity
+}
+
+// Collector accumulates per-iteration timing for a node across the grace
+// period, for the iteration range [lo,hi) currently assigned to it.
+type Collector struct {
+	node   *cluster.Node
+	lo, hi int
+
+	cycles    int
+	wallMin   []vclock.Duration // per local iteration, min over cycles
+	procSum   []vclock.Duration
+	procCount []int
+
+	iterWallStart vclock.Time
+	iterProcStart vclock.Duration
+	inIter        bool
+}
+
+// NewCollector starts collecting for iterations [lo,hi) on node.
+func NewCollector(node *cluster.Node, lo, hi int) *Collector {
+	if lo > hi {
+		panic(fmt.Sprintf("timing: bad iteration range [%d,%d)", lo, hi))
+	}
+	n := hi - lo
+	c := &Collector{node: node, lo: lo, hi: hi,
+		wallMin:   make([]vclock.Duration, n),
+		procSum:   make([]vclock.Duration, n),
+		procCount: make([]int, n),
+	}
+	for i := range c.wallMin {
+		c.wallMin[i] = vclock.Duration(1) << 62
+	}
+	return c
+}
+
+// BeginIter marks the start of one iteration's computation.
+func (c *Collector) BeginIter() {
+	if c.inIter {
+		panic("timing: BeginIter while an iteration is open")
+	}
+	c.inIter = true
+	c.iterWallStart = c.node.Now()
+	c.iterProcStart = quantize(c.node.CPUTime())
+}
+
+// EndIter records global iteration g's measurements for this cycle.
+func (c *Collector) EndIter(g int) {
+	if !c.inIter {
+		panic("timing: EndIter without BeginIter")
+	}
+	c.inIter = false
+	if g < c.lo || g >= c.hi {
+		panic(fmt.Sprintf("timing: iteration %d outside [%d,%d)", g, c.lo, c.hi))
+	}
+	i := g - c.lo
+	wall := c.node.Now().Sub(c.iterWallStart)
+	proc := quantize(c.node.CPUTime()) - c.iterProcStart
+	if wall < c.wallMin[i] {
+		c.wallMin[i] = wall
+	}
+	c.procSum[i] += proc
+	c.procCount[i]++
+}
+
+// EndCycle marks the end of one measured phase cycle.
+func (c *Collector) EndCycle() { c.cycles++ }
+
+// Cycles reports how many complete cycles have been measured.
+func (c *Collector) Cycles() int { return c.cycles }
+
+// Estimates returns the unloaded *per-phase-cycle* cost of each iteration,
+// in seconds of reference CPU (multiplied back by the node's power so
+// estimates from different nodes are comparable). An application may
+// bracket the same iteration several times per cycle (SOR measures each
+// half-phase); the estimate is the iteration's total cost per cycle.
+//
+// Mechanism choice per sample follows the paper: /PROC when even the
+// best-case wall time is at least one granule, min-filtered wallclock
+// otherwise (with the min multiplied back by the samples-per-cycle count).
+func (c *Collector) Estimates() []float64 {
+	out := make([]float64, c.hi-c.lo)
+	cycles := c.cycles
+	if cycles == 0 {
+		cycles = 1
+	}
+	for i := range out {
+		samplesPerCycle := c.procCount[i] / cycles
+		if samplesPerCycle == 0 {
+			samplesPerCycle = 1
+		}
+		var local vclock.Duration
+		if c.procCount[i] > 0 && c.wallMin[i] >= ProcGranularity && c.procSum[i] > 0 {
+			local = c.procSum[i] / vclock.Duration(cycles)
+		} else {
+			local = c.wallMin[i] * vclock.Duration(samplesPerCycle)
+		}
+		out[i] = local.Seconds() * c.node.Power()
+	}
+	return out
+}
+
+// Range reports the iteration range being collected.
+func (c *Collector) Range() (lo, hi int) { return c.lo, c.hi }
+
+// CycleTimer measures average wall time per phase cycle (used during the
+// post-redistribution grace period for the drop decision).
+type CycleTimer struct {
+	node   *cluster.Node
+	start  vclock.Time
+	total  vclock.Duration
+	cycles int
+	open   bool
+}
+
+// NewCycleTimer creates a cycle timer for node.
+func NewCycleTimer(node *cluster.Node) *CycleTimer {
+	return &CycleTimer{node: node}
+}
+
+// Begin marks the start of a phase cycle.
+func (t *CycleTimer) Begin() {
+	if t.open {
+		panic("timing: Begin while a cycle is open")
+	}
+	t.open = true
+	t.start = t.node.Now()
+}
+
+// End marks the end of a phase cycle.
+func (t *CycleTimer) End() {
+	if !t.open {
+		panic("timing: End without Begin")
+	}
+	t.open = false
+	t.total += t.node.Now().Sub(t.start)
+	t.cycles++
+}
+
+// Cycles reports completed cycles.
+func (t *CycleTimer) Cycles() int { return t.cycles }
+
+// Average reports the mean cycle wall time in seconds (0 if none measured).
+func (t *CycleTimer) Average() float64 {
+	if t.cycles == 0 {
+		return 0
+	}
+	return (t.total / vclock.Duration(t.cycles)).Seconds()
+}

@@ -1,0 +1,248 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+)
+
+const jacobiSrc = `package main
+
+func kernel(rt *Runtime, a, b *Dense, ph *Phase, n int) {
+	for t := 0; t < 100; t++ {
+		lo, hi := ph.Bounds()
+		for g := lo; g < hi; g++ {
+			up, mid, down := b.Row(g-1), b.Row(g), b.Row(g+1)
+			out := a.Row(g)
+			for j := 1; j < n-1; j++ {
+				out[j] = 0.25 * (up[j] + down[j] + mid[j-1] + mid[j+1])
+			}
+		}
+	}
+}
+`
+
+func TestDeriveJacobiAccesses(t *testing.T) {
+	res, err := AnalyzeFileWithWrites("jacobi.go", jacobiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Issues) != 0 {
+		t.Fatalf("issues: %v", res.Issues)
+	}
+	want := map[string]bool{ // "array off" -> write
+		"a +0": false, // the element store is through `out`, a local alias —
+		// detectable only with dataflow; the direct Row(g) read is derived
+		"b -1": false,
+		"b +0": false,
+		"b +1": false,
+	}
+	if len(res.Accesses) != len(want) {
+		t.Fatalf("derived %v, want %d accesses", res.Accesses, len(want))
+	}
+	for _, a := range res.Accesses {
+		key := a.Array + " " + plus(a.Off)
+		w, ok := want[key]
+		if !ok {
+			t.Fatalf("unexpected access %v", a)
+		}
+		if a.Write != w {
+			t.Fatalf("access %v write=%v, want %v", a, a.Write, w)
+		}
+		if a.Step != 1 {
+			t.Fatalf("access %v step", a)
+		}
+	}
+}
+
+func plus(v int) string {
+	if v >= 0 {
+		return "+" + itoa(v)
+	}
+	return itoa(v)
+}
+
+func itoa(v int) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + itoa(v%10)
+}
+
+const directWriteSrc = `package main
+
+func kernel(a *Dense, ph *Phase) {
+	lo, hi := ph.Bounds()
+	for i := lo; i < hi; i++ {
+		a.Row(i)[0] = 1
+		copy(a.Row(i+1), a.Row(i-1))
+		a.Row(i)[2]++
+	}
+}
+`
+
+func TestWriteDetection(t *testing.T) {
+	res, err := AnalyzeFileWithWrites("w.go", directWriteSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOff := map[int]Access{}
+	for _, a := range res.Accesses {
+		byOff[a.Off] = a
+	}
+	if !byOff[0].Write {
+		t.Fatalf("Row(i)[0]=… not detected as write: %v", res.Accesses)
+	}
+	if !byOff[1].Write {
+		t.Fatalf("copy(Row(i+1),…) not detected as write: %v", res.Accesses)
+	}
+	if byOff[-1].Write {
+		t.Fatalf("Row(i-1) wrongly a write: %v", res.Accesses)
+	}
+}
+
+const sparseSrc = `package main
+
+func kernel(s *Sparse, ph *Phase) {
+	lo, hi := ph.Bounds()
+	for g := lo; g < hi; g++ {
+		for e := s.RowHead(g); e != nil; e = e.Next() {
+			_ = e
+		}
+		s.Append(g, 0, 1)
+		p := s.PackRow(g + 1)
+		_ = p
+	}
+}
+`
+
+func TestSparseMethods(t *testing.T) {
+	res, err := AnalyzeFileWithWrites("s.go", sparseSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accesses) != 2 {
+		t.Fatalf("accesses %v", res.Accesses)
+	}
+	if !res.Accesses[0].Write || res.Accesses[0].Off != 0 {
+		t.Fatalf("Append access %v", res.Accesses[0])
+	}
+	if res.Accesses[1].Write || res.Accesses[1].Off != 1 {
+		t.Fatalf("PackRow access %v", res.Accesses[1])
+	}
+}
+
+const complexSrc = `package main
+
+func kernel(a *Dense, ph *Phase, m int) {
+	lo, hi := ph.Bounds()
+	for i := lo; i < hi; i++ {
+		_ = a.Row(i * 2)
+		_ = a.Row(i + m)
+	}
+}
+`
+
+func TestUnresolvableReferencesReported(t *testing.T) {
+	res, err := AnalyzeFileWithWrites("c.go", complexSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Issues) != 2 {
+		t.Fatalf("issues %v, want 2 (strided and symbolic offsets)", res.Issues)
+	}
+	for _, is := range res.Issues {
+		if !strings.Contains(is.Reason, "a.Row") {
+			t.Fatalf("issue lacks context: %v", is)
+		}
+	}
+}
+
+const constantRowSrc = `package main
+
+func kernel(a *Dense, ph *Phase) {
+	lo, hi := ph.Bounds()
+	for i := lo; i < hi; i++ {
+		_ = a.Row(0) // constant row: replicated data, not a distributed reference
+	}
+}
+`
+
+func TestConstantRowIgnored(t *testing.T) {
+	res, err := AnalyzeFileWithWrites("k.go", constantRowSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accesses) != 0 || len(res.Issues) != 0 {
+		t.Fatalf("constant row misclassified: %v %v", res.Accesses, res.Issues)
+	}
+}
+
+const declaredSrc = `package main
+
+func setup(ph *Phase) {
+	ph.AddAccess("A", dynmpi.ReadWrite, 1, 0)
+	ph.AddAccess("B", dynmpi.Read, 1, -1)
+}
+
+func kernel(A, B *Dense, ph *Phase) {
+	lo, hi := ph.Bounds()
+	for i := lo; i < hi; i++ {
+		A.Row(i)[0] = B.Row(i-1)[0] + B.Row(i+1)[0]
+	}
+}
+`
+
+func TestMissingDeclarations(t *testing.T) {
+	res, err := AnalyzeFileWithWrites("d.go", declaredSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Declared) != 2 {
+		t.Fatalf("declared %v", res.Declared)
+	}
+	missing := res.Missing()
+	// A(+0, write) is declared; B(-1, read) is declared; B(+1, read) is NOT.
+	if len(missing) != 1 || missing[0].Array != "B" || missing[0].Off != 1 {
+		t.Fatalf("missing %v, want the undeclared B(+1) read", missing)
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	a := Access{Array: "A", Write: true, Step: 1, Off: -1}
+	if got := a.String(); got != `ph.AddAccess("A", dynmpi.ReadWrite, 1, -1)` {
+		t.Fatalf("String = %s", got)
+	}
+	r := Access{Array: "B", Step: 1, Off: 2}
+	if got := r.String(); got != `ph.AddAccess("B", dynmpi.Read, 1, +2)` {
+		t.Fatalf("String = %s", got)
+	}
+}
+
+func TestParseErrorPropagates(t *testing.T) {
+	if _, err := AnalyzeFileWithWrites("bad.go", "not go"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+// TestRealApplications runs the analyzer over the repository's own
+// applications and checks it derives sensible access lists.
+func TestRealApplications(t *testing.T) {
+	res, err := AnalyzeFileWithWrites("../apps/jacobi/jacobi.go", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Jacobi kernel reads src at -1/0/+1 and writes dst at 0; the
+	// analyzer sees the local variable names (src/dst aliases of a/b).
+	found := map[string]bool{}
+	for _, a := range res.Accesses {
+		found[a.Array+plus(a.Off)] = true
+	}
+	for _, want := range []string{"src-1", "src+0", "src+1", "dst+0"} {
+		if !found[want] {
+			t.Fatalf("jacobi analysis missing %s; got %v", want, res.Accesses)
+		}
+	}
+}
