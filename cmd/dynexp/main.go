@@ -9,11 +9,17 @@
 //	dynexp fig7        — particle simulation, grace period 1 vs 5
 //	dynexp alloc       — §4.1 projection vs contiguous allocation
 //	dynexp microbench  — §4.3 pair-fraction table and method comparison
-//	dynexp all         — everything above
+//	dynexp trace       — canonical loaded-4-node run with structured telemetry
+//	dynexp all         — everything above (except trace)
 //
 // The -paper flag selects the paper's original input sizes (slower); the
 // default scaled inputs preserve the computation/communication ratios (see
 // EXPERIMENTS.md).
+//
+// The trace subcommand attaches a telemetry sink to the runtime: -trace
+// out.jsonl writes the structured record stream (iteration, decision,
+// redist, membership) as JSON lines in deterministic order, and -summary
+// prints an aggregation table. With neither flag, the summary is printed.
 package main
 
 import (
@@ -24,16 +30,19 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/telemetry"
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|all}\n")
+	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|all}\n")
 	os.Exit(2)
 }
 
 func main() {
 	paper := flag.Bool("paper", false, "use the paper's original input sizes")
 	nodesFlag := flag.String("nodes", "", "comma-separated node counts (fig4/fig6 only)")
+	traceFile := flag.String("trace", "", "write the telemetry record stream as JSONL to this file (trace subcommand)")
+	summary := flag.Bool("summary", false, "print a telemetry aggregation table (trace subcommand)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -126,6 +135,29 @@ func main() {
 				return err
 			}
 			r.Table().Render(os.Stdout)
+		case "trace":
+			r, err := exp.RunTrace(exp.DefaultTraceOptions())
+			if err != nil {
+				return err
+			}
+			if *traceFile != "" {
+				f, err := os.Create(*traceFile)
+				if err != nil {
+					return err
+				}
+				if err := telemetry.WriteJSONL(f, r.Records); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("  wrote %d records to %s\n", len(r.Records), *traceFile)
+			}
+			if *summary || *traceFile == "" {
+				telemetry.Summarize(r.Records).WriteTable(os.Stdout)
+			}
+			fmt.Printf("  elapsed %.3fs virtual, %d redistributions\n", r.Res.Elapsed, r.Res.Redists)
 		default:
 			usage()
 		}

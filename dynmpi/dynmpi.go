@@ -38,12 +38,15 @@
 package dynmpi
 
 import (
+	"io"
+
 	"repro/internal/apps"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/drsd"
 	"repro/internal/matrix"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
 
@@ -156,6 +159,59 @@ func Launch(spec ClusterSpec, cfg Config, fn func(rt *Runtime) error) error {
 
 // F64Bytes reports the wire size of n float64 values, for SendRel calls.
 func F64Bytes(n int) int { return mpi.F64Bytes(n) }
+
+// Telemetry types (see internal/telemetry for full documentation). Every
+// adaptation action of an instrumented run is emitted as a structured
+// record: per-cycle iteration breakdowns, distribution decisions with the
+// candidates considered, redistribution volumes, and membership changes.
+type (
+	// TelemetrySink receives structured runtime records; implementations
+	// must be safe for concurrent use across rank goroutines.
+	TelemetrySink = telemetry.Sink
+	// TelemetryRecord is one structured telemetry event.
+	TelemetryRecord = telemetry.Record
+	// TelemetryRing is the bounded in-memory sink.
+	TelemetryRing = telemetry.Ring
+	// IterationRecord is the per-cycle compute/comm/wait breakdown.
+	IterationRecord = telemetry.IterationRecord
+	// DecisionRecord is one adaptation decision with its candidates.
+	DecisionRecord = telemetry.DecisionRecord
+	// RedistRecord is one executed redistribution's volume accounting.
+	RedistRecord = telemetry.RedistRecord
+	// MembershipRecord is one active-set change with the rank remap.
+	MembershipRecord = telemetry.MembershipRecord
+	// TelemetryJSONL is the streaming JSONL sink.
+	TelemetryJSONL = telemetry.JSONLWriter
+)
+
+// WithTelemetry returns a copy of cfg that emits structured records into
+// sink. Pass the result to Launch:
+//
+//	ring := dynmpi.NewTelemetryRing(1 << 16)
+//	err := dynmpi.Launch(spec, dynmpi.WithTelemetry(dynmpi.DefaultConfig(), ring), fn)
+func WithTelemetry(cfg Config, sink TelemetrySink) Config {
+	cfg.Telemetry = sink
+	return cfg
+}
+
+// NewTelemetryRing returns an in-memory sink holding the most recent
+// `capacity` records.
+func NewTelemetryRing(capacity int) *TelemetryRing { return telemetry.NewRing(capacity) }
+
+// NewTelemetryJSONL returns a sink that writes one JSON object per record
+// to w in arrival order; call Flush when the run completes. For a
+// deterministic file, collect into a ring and use WriteTelemetryJSONL.
+func NewTelemetryJSONL(w io.Writer) *TelemetryJSONL { return telemetry.NewJSONLWriter(w) }
+
+// WriteTelemetryJSONL writes records to w as JSONL in slice order. Sort
+// them first with SortTelemetry for the deterministic global order.
+func WriteTelemetryJSONL(w io.Writer, recs []TelemetryRecord) error {
+	return telemetry.WriteJSONL(w, recs)
+}
+
+// SortTelemetry orders records by (virtual time, node, sequence), the
+// deterministic global order of a simulated run.
+func SortTelemetry(recs []TelemetryRecord) { telemetry.Sort(recs) }
 
 // HaloExchange performs the standard nearest-neighbour boundary exchange
 // for the current block distribution: each rank sends its first owned row

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
 
@@ -225,6 +226,17 @@ type Node struct {
 	segs         []segment // CP timeline, sorted by start
 	segIdx       int       // index of the segment containing the clock
 	pendingCycle []Event   // cycle-triggered events not yet materialised
+
+	sink    telemetry.Sink     // nil: no emission
+	stamper *telemetry.Stamper // shared with the rank runtime on this node
+}
+
+// AttachTelemetry routes this node's scenario events (cycle-triggered
+// competing-process changes materialising) into sink. The stamper must be
+// the one owned by the rank goroutine running on this node.
+func (n *Node) AttachTelemetry(sink telemetry.Sink, stamper *telemetry.Stamper) {
+	n.sink = sink
+	n.stamper = stamper
 }
 
 // ID reports the node's index in the cluster.
@@ -267,6 +279,13 @@ func (n *Node) OnCycle(cycle int) {
 	for _, ev := range n.pendingCycle {
 		if ev.AtCycle == cycle {
 			n.appendEvent(n.clock.Now(), ev.Delta)
+			if n.sink != nil {
+				n.sink.Emit(telemetry.LoadEventRecord{
+					Base:  n.stamper.Stamp(telemetry.KindLoadEvent, cycle, n.clock.Now().Seconds()),
+					Delta: ev.Delta,
+					Count: n.segs[len(n.segs)-1].count,
+				})
+			}
 		} else {
 			kept = append(kept, ev)
 		}

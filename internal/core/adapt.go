@@ -6,6 +6,7 @@ import (
 	"repro/internal/distribution"
 	"repro/internal/drsd"
 	"repro/internal/loadmon"
+	"repro/internal/telemetry"
 	"repro/internal/timing"
 )
 
@@ -21,11 +22,17 @@ func (rt *Runtime) BeginCycle() bool {
 		rt.removedCycle()
 		return !rt.isOut // true exactly when this node just rejoined
 	}
+	rt.beginCycleTelemetry()
 	if !rt.cfg.Adapt {
 		return true
 	}
 
 	loads, removedRanks, removedLoads := rt.exchangeLoads()
+	if rt.sink != nil {
+		if rel := rt.RelRank(); rel >= 0 && rel < len(loads) {
+			rt.cycLoad = loads[rel]
+		}
+	}
 	if rt.maybeRejoin(loads, removedRanks, removedLoads) {
 		// Membership changed this cycle; the state machine resumes on the
 		// fresh baseline next cycle.
@@ -68,6 +75,7 @@ func (rt *Runtime) EndCycle() {
 		rt.cycTimer.End()
 		rt.cycOpen = false
 	}
+	rt.endCycleTelemetry()
 	rt.cycle++
 }
 
@@ -143,12 +151,28 @@ func (rt *Runtime) decideRedistribution(loads []int) {
 	}
 
 	if rt.cfg.Drop == DropAlways && anyLoaded && anyUnloaded {
+		if rt.sink != nil {
+			rt.sink.Emit(telemetry.DecisionRecord{
+				Base:   rt.stamp(telemetry.KindDecision),
+				Method: "drop-always",
+				Loads:  append([]int(nil), loads...),
+				Chosen: "drop",
+			})
+		}
 		rt.baseLoads = append([]int(nil), loads...)
 		rt.dropLoaded(nodes, iterCosts)
 		rt.state = stNormal
 		return
 	}
 	if rt.cfg.Drop == DropLogical && anyLoaded && anyUnloaded {
+		if rt.sink != nil {
+			rt.sink.Emit(telemetry.DecisionRecord{
+				Base:   rt.stamp(telemetry.KindDecision),
+				Method: "drop-logical",
+				Loads:  append([]int(nil), loads...),
+				Chosen: "logical-drop",
+			})
+		}
 		rt.logicalDrop(nodes, iterCosts)
 		rt.baseLoads = append([]int(nil), loads...)
 		rt.state = stNormal
@@ -159,14 +183,50 @@ func (rt *Runtime) decideRedistribution(loads []int) {
 	for _, w := range iterCosts {
 		total += w
 	}
+	// Compute both candidate distributions when telemetry wants them;
+	// otherwise only the configured method runs.
+	trace := rt.sink != nil
+	var rpFr, sbFr []float64
+	sbRounds := 0
+	if trace || rt.cfg.Method == RelativePower {
+		rpFr = distribution.RelativePowerFractions(nodes)
+	}
+	if trace || rt.cfg.Method != RelativePower {
+		sbFr = distribution.SuccessiveBalancingFractionsTrace(nodes, total, commCPU, rt.cfg.Model,
+			func(round int, _ []float64) { sbRounds = round + 1 })
+	}
 	var fractions []float64
+	chosen := "successive-balancing"
 	switch rt.cfg.Method {
 	case RelativePower:
-		fractions = distribution.RelativePowerFractions(nodes)
+		fractions, chosen = rpFr, "relative-power"
 	default:
-		fractions = distribution.SuccessiveBalancingFractions(nodes, total, commCPU, rt.cfg.Model)
+		fractions = sbFr
 	}
 	counts := distribution.PartitionWeighted(iterCosts, fractions)
+	if trace {
+		rpCounts := distribution.PartitionWeighted(iterCosts, rpFr)
+		sbCounts := distribution.PartitionWeighted(iterCosts, sbFr)
+		cands := []telemetry.Candidate{
+			{Label: "relative-power", Counts: rpCounts,
+				PredictedS: distribution.PredictCycleTime(nodes, rpCounts, iterCosts, commCPU, commWire)},
+			{Label: "successive-balancing", Counts: sbCounts, Rounds: sbRounds,
+				PredictedS: distribution.PredictCycleTime(nodes, sbCounts, iterCosts, commCPU, commWire)},
+		}
+		predicted := cands[1].PredictedS
+		if rt.cfg.Method == RelativePower {
+			predicted = cands[0].PredictedS
+		}
+		rt.sink.Emit(telemetry.DecisionRecord{
+			Base:       rt.stamp(telemetry.KindDecision),
+			Method:     chosen,
+			Loads:      append([]int(nil), loads...),
+			Candidates: cands,
+			Chosen:     chosen,
+			Counts:     append([]int(nil), counts...),
+			PredictedS: predicted,
+		})
+	}
 	rt.applyDistribution(drsd.NewBlock(rt.active, counts))
 	rt.baseLoads = append([]int(nil), loads...)
 	rt.redists++
@@ -189,6 +249,23 @@ func (rt *Runtime) maybeDrop(loads []int) {
 	rt.state = stNormal
 	nodes := rt.nodesFromLoads(loads)
 	drop, predicted := distribution.DropDecision(nodes, rt.iterCosts, measured, rt.commCPU, rt.commWire)
+	if rt.sink != nil {
+		verdict := "keep"
+		if drop {
+			verdict = "drop"
+		}
+		rt.sink.Emit(telemetry.DecisionRecord{
+			Base:   rt.stamp(telemetry.KindDecision),
+			Method: "drop-auto",
+			Loads:  append([]int(nil), loads...),
+			Candidates: []telemetry.Candidate{
+				{Label: "unloaded-only", PredictedS: predicted},
+			},
+			Chosen:     verdict,
+			PredictedS: predicted,
+			MeasuredS:  measured,
+		})
+	}
 	if !drop {
 		rt.record(EvDrop, 0, fmt.Sprintf("kept: measured=%.4fs predicted=%.4fs", measured, predicted))
 		return
@@ -240,6 +317,9 @@ func (rt *Runtime) dropLoaded(nodes []distribution.Node, iterCosts []float64) {
 	}
 	if !rt.isOut {
 		rt.record(EvDrop, 0, fmt.Sprintf("active=%v removed=%v", stay, out))
+		rt.emitMembership("drop")
+	} else {
+		rt.emitMembership("removed")
 	}
 }
 
@@ -283,5 +363,6 @@ func (rt *Runtime) logicalDrop(nodes []distribution.Node, iterCosts []float64) {
 	rt.applyDistribution(drsd.NewBlock(rt.active, counts))
 	rt.redists++
 	rt.record(EvLogicalDrop, 0, fmt.Sprintf("counts=%v", counts))
+	rt.emitMembership("logical-drop")
 	rt.state = stNormal
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/loadmon"
 	"repro/internal/matrix"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 	"repro/internal/timing"
 	"repro/internal/vclock"
 )
@@ -103,6 +104,12 @@ type Config struct {
 	// redistributes. With rejoin enabled the send-out root itself is never
 	// dropped, so removed nodes always have a live, fixed contact.
 	AllowRejoin bool
+	// Telemetry, when non-nil, receives a structured record for every
+	// adaptation action: per-cycle iteration breakdowns, distribution
+	// decisions with the candidates considered, redistribution volumes and
+	// membership changes. The sink is shared by all ranks and must be safe
+	// for concurrent use. Nil (the default) skips all emission.
+	Telemetry telemetry.Sink
 }
 
 // DefaultConfig returns the paper's default configuration.
@@ -216,6 +223,15 @@ type Runtime struct {
 	graceStart  vclock.Time
 
 	events []Event
+
+	// Telemetry state (sink == nil disables everything).
+	sink      telemetry.Sink
+	stamper   *telemetry.Stamper
+	cycVT0    vclock.Time     // cycle-start wall clock
+	cycCPU0   vclock.Duration // cycle-start application CPU time
+	cycMsgs0  int64           // cycle-start message counter
+	cycBytes0 int64           // cycle-start byte counter
+	cycLoad   int             // this rank's load observed this cycle
 }
 
 // New creates the runtime for this rank (DMPI_init). All ranks of the
@@ -231,7 +247,7 @@ func New(comm *mpi.Comm, cfg Config) *Runtime {
 	for i := range active {
 		active[i] = i
 	}
-	return &Runtime{
+	rt := &Runtime{
 		comm:    comm,
 		node:    comm.Node(),
 		cfg:     cfg,
@@ -240,6 +256,13 @@ func New(comm *mpi.Comm, cfg Config) *Runtime {
 		group:   comm.World().AllGroup(),
 		monitor: loadmon.New(comm.Node()),
 	}
+	if cfg.Telemetry != nil {
+		rt.sink = cfg.Telemetry
+		rt.stamper = telemetry.NewStamper(comm.Rank())
+		rt.monitor.Attach(rt.sink, rt.stamper, func() int { return rt.cycle })
+		rt.node.AttachTelemetry(rt.sink, rt.stamper)
+	}
+	return rt
 }
 
 // Comm exposes the underlying communicator (world ranks).
@@ -400,6 +423,77 @@ func (rt *Runtime) Redistributions() int { return rt.redists }
 func (rt *Runtime) record(kind EventKind, bytes int64, info string) {
 	rt.events = append(rt.events, Event{
 		Kind: kind, Cycle: rt.cycle, Time: rt.node.Now(), Bytes: bytes, Info: info,
+	})
+}
+
+// stamp builds the common telemetry fields for a record emitted now. Only
+// call when rt.sink != nil.
+func (rt *Runtime) stamp(kind string) telemetry.Base {
+	return rt.stamper.Stamp(kind, rt.cycle, rt.node.Now().Seconds())
+}
+
+// emitMembership reports a membership change (or logical drop) through the
+// telemetry sink. The active list doubles as the relative-rank remap:
+// relative rank i maps to world rank active[i].
+func (rt *Runtime) emitMembership(change string) {
+	if rt.sink == nil {
+		return
+	}
+	rt.sink.Emit(telemetry.MembershipRecord{
+		Base:    rt.stamp(telemetry.KindMembership),
+		Change:  change,
+		Active:  append([]int(nil), rt.active...),
+		Removed: append([]int(nil), rt.removed...),
+		Remap:   append([]int(nil), rt.active...),
+	})
+}
+
+// beginCycleTelemetry snapshots the counters that EndCycle turns into an
+// IterationRecord.
+func (rt *Runtime) beginCycleTelemetry() {
+	if rt.sink == nil {
+		return
+	}
+	rt.cycVT0 = rt.node.Now()
+	rt.cycCPU0 = rt.node.CPUTime()
+	rt.cycMsgs0 = rt.comm.SentMsgs + rt.comm.RecvMsgs
+	rt.cycBytes0 = rt.comm.SentBytes + rt.comm.RecvBytes
+	rt.cycLoad = rt.node.CPCount()
+}
+
+// endCycleTelemetry emits the per-cycle IterationRecord: the cycle's wall
+// time split into compute, communication CPU (reconstructed from traffic
+// counters and the network cost model) and blocked wait, plus this rank's
+// measured share of the iteration space.
+func (rt *Runtime) endCycleTelemetry() {
+	if rt.sink == nil {
+		return
+	}
+	net := rt.comm.World().Cluster().Net()
+	wall := rt.node.Now().Sub(rt.cycVT0).Seconds()
+	cpu := (rt.node.CPUTime() - rt.cycCPU0).Seconds()
+	msgs := float64(rt.comm.SentMsgs + rt.comm.RecvMsgs - rt.cycMsgs0)
+	bytes := float64(rt.comm.SentBytes + rt.comm.RecvBytes - rt.cycBytes0)
+	comm := msgs*net.CPUPerMsg.Seconds() + bytes*net.CPUPerByte/1e9
+	compute := cpu - comm
+	if compute < 0 {
+		compute = 0
+	}
+	wait := wall - cpu
+	if wait < 0 {
+		wait = 0
+	}
+	share := 0
+	if lo, hi := rt.dist.RangeOf(rt.comm.Rank()); hi > lo {
+		share = hi - lo
+	}
+	rt.sink.Emit(telemetry.IterationRecord{
+		Base:     rt.stamp(telemetry.KindIteration),
+		ComputeS: compute,
+		CommS:    comm,
+		WaitS:    wait,
+		Share:    share,
+		Load:     rt.cycLoad,
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/drsd"
 	"repro/internal/matrix"
+	"repro/internal/telemetry"
 )
 
 // applyDistribution executes a redistribution to newDist (§4.4): for every
@@ -17,6 +18,7 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 	rt.record(EvRedistStart, 0, "")
 	me := rt.comm.Rank()
 	var bytesMoved int64
+	var moves []telemetry.ArrayMove
 
 	for _, name := range rt.order {
 		a := rt.arrays[name]
@@ -83,13 +85,20 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 
 		// Phase 3: ship outgoing rows (eager sends never block) and then
 		// receive incoming rows in deterministic schedule order.
+		mv := telemetry.ArrayMove{Name: name}
 		for _, m := range outs {
 			if m.dense != nil {
 				rt.comm.Send(m.to, tag, m.dense, m.bytes)
+				mv.Rows += len(m.dense)
 			} else {
 				rt.comm.Send(m.to, tag, m.spars, m.bytes)
+				mv.Rows += len(m.spars)
 			}
+			mv.Bytes += int64(m.bytes)
 			bytesMoved += int64(m.bytes)
+		}
+		if rt.sink != nil && (mv.Rows > 0 || mv.Bytes > 0) {
+			moves = append(moves, mv)
 		}
 		for _, tr := range sched {
 			if tr.To != me {
@@ -123,4 +132,19 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 		Kind: EvRedistEnd, Cycle: rt.cycle, Time: rt.node.Now(),
 		Bytes: bytesMoved, Counts: newDist.Counts(),
 	})
+	if rt.sink != nil {
+		rows, sent := 0, int64(0)
+		for _, mv := range moves {
+			rows += mv.Rows
+			sent += mv.Bytes
+		}
+		rt.sink.Emit(telemetry.RedistRecord{
+			Base:       rt.stamp(telemetry.KindRedist),
+			Arrays:     moves,
+			RowsSent:   rows,
+			BytesSent:  sent,
+			BytesMoved: bytesMoved,
+			Counts:     newDist.Counts(),
+		})
+	}
 }

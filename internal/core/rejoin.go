@@ -171,6 +171,7 @@ func (rt *Runtime) maybeRejoin(activeLoads, removedRanks, removedLoads []int) bo
 	rt.applyDistribution(newDist)
 	rt.redists++
 	rt.record(EvRejoin, 0, "")
+	rt.emitMembership("rejoin")
 	rt.baseLoads = newBase
 	rt.state = stNormal
 	rt.collector = nil
@@ -212,6 +213,7 @@ func (rt *Runtime) removedCycle() {
 	rt.applyDistribution(drsd.NewBlock(pkt.NewActive, pkt.NewCounts))
 	rt.redists++
 	rt.record(EvRejoin, 0, "rejoined")
+	rt.emitMembership("rejoined")
 	rt.baseLoads = append([]int(nil), pkt.BaseLoads...)
 	rt.state = stNormal
 	rt.collector = nil

@@ -117,6 +117,14 @@ func RelativePowerFractions(nodes []Node) []float64 {
 // node; commCPU is one node's per-cycle communication CPU time. Both only
 // matter through their ratio and scale.
 func SuccessiveBalancingFractions(nodes []Node, totalComp, commCPU float64, model PairModel) []float64 {
+	return SuccessiveBalancingFractionsTrace(nodes, totalComp, commCPU, model, nil)
+}
+
+// SuccessiveBalancingFractionsTrace is SuccessiveBalancingFractions with an
+// observer: when non-nil, observe receives each round's candidate fractions
+// before convergence is tested, so telemetry can record every intermediate
+// distribution the algorithm considered.
+func SuccessiveBalancingFractionsTrace(nodes []Node, totalComp, commCPU float64, model PairModel, observe func(round int, fractions []float64)) []float64 {
 	if model == nil {
 		model = AnalyticModel{}
 	}
@@ -163,6 +171,9 @@ func SuccessiveBalancingFractions(nodes []Node, totalComp, commCPU float64, mode
 		}
 		for i := range next {
 			next[i] = caps[i] / capSum
+		}
+		if observe != nil {
+			observe(round, append([]float64(nil), next...))
 		}
 		// Convergence: unloaded shares stable to 0.1%.
 		stable := true

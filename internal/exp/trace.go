@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"repro/internal/apps"
+	"repro/internal/apps/jacobi"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// TraceOptions parameterises the canonical telemetry trace run: Jacobi on a
+// uniform cluster with one competing process arriving mid-run — the
+// bench_test.go "loaded4" scenario.
+type TraceOptions struct {
+	Nodes       int
+	Rows, Cols  int
+	Iters       int
+	CostPerElem float64
+	CPNode      int // node receiving the competing process
+	CPCycle     int // phase cycle at which it arrives
+	Drop        core.DropPolicy
+	RingCap     int // telemetry ring capacity
+}
+
+// DefaultTraceOptions returns the canonical loaded-4-node scenario with
+// unconditional removal, so the trace deterministically contains all four
+// record families: iteration, decision, redist and membership.
+func DefaultTraceOptions() TraceOptions {
+	return TraceOptions{
+		Nodes: 4, Rows: 128, Cols: 128, Iters: 40, CostPerElem: 10e3,
+		CPNode: 1, CPCycle: 10,
+		Drop:    core.DropAlways,
+		RingCap: 1 << 16,
+	}
+}
+
+// TraceResult is the outcome of a trace run: the structured records in
+// deterministic (virtual time, node, seq) order plus the application result.
+type TraceResult struct {
+	Records []telemetry.Record
+	Res     apps.Result
+}
+
+// RunTrace executes the scenario with a ring sink attached and returns the
+// sorted record stream. The run is fully deterministic: repeated calls with
+// identical options produce identical records.
+func RunTrace(o TraceOptions) (*TraceResult, error) {
+	ring := telemetry.NewRing(o.RingCap)
+	cfg := jacobi.DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = o.Rows, o.Cols, o.Iters, o.CostPerElem
+	cfg.Core.Drop = o.Drop
+	cfg.Core.Telemetry = ring
+	spec := cluster.Uniform(o.Nodes).With(cluster.CycleEvent(o.CPNode, o.CPCycle, +1))
+	res, err := jacobi.Run(cluster.New(spec), cfg)
+	if err != nil {
+		return nil, err
+	}
+	recs := ring.Records()
+	telemetry.Sort(recs)
+	return &TraceResult{Records: recs, Res: res}, nil
+}

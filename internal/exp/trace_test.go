@@ -1,0 +1,200 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// sequenceLines renders the adaptation skeleton of a trace — every
+// decision, redist and membership record in deterministic order — as one
+// line each, with only stable fields (no floats).
+func sequenceLines(recs []telemetry.Record) []string {
+	var out []string
+	for _, rec := range recs {
+		switch v := rec.(type) {
+		case telemetry.DecisionRecord:
+			out = append(out, fmt.Sprintf("decision   cycle=%d node=%d method=%s chosen=%s loads=%v counts=%v",
+				v.Cycle, v.Node, v.Method, v.Chosen, v.Loads, v.Counts))
+		case telemetry.RedistRecord:
+			out = append(out, fmt.Sprintf("redist     cycle=%d node=%d rows=%d counts=%v",
+				v.Cycle, v.Node, v.RowsSent, v.Counts))
+		case telemetry.MembershipRecord:
+			out = append(out, fmt.Sprintf("membership cycle=%d node=%d change=%s active=%v removed=%v remap=%v",
+				v.Cycle, v.Node, v.Change, v.Active, v.Removed, v.Remap))
+		}
+	}
+	return out
+}
+
+func TestTraceContainsAllRecordKinds(t *testing.T) {
+	r, err := RunTrace(DefaultTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, rec := range r.Records {
+		counts[rec.Kind()]++
+	}
+	for _, kind := range []string{
+		telemetry.KindIteration, telemetry.KindDecision,
+		telemetry.KindRedist, telemetry.KindMembership,
+	} {
+		if counts[kind] == 0 {
+			t.Errorf("trace has no %s records (have %v)", kind, counts)
+		}
+	}
+	if r.Res.Redists == 0 {
+		t.Fatal("trace scenario did not adapt")
+	}
+}
+
+// TestTraceGoldenSequence pins the adapt -> redist -> membership event
+// sequence of the canonical loaded-4-node scenario. Regenerate with
+// `go test ./internal/exp -run Golden -update` after an intentional
+// behaviour change.
+func TestTraceGoldenSequence(t *testing.T) {
+	r, err := RunTrace(DefaultTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(sequenceLines(r.Records), "\n") + "\n"
+	golden := filepath.Join("testdata", "trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace sequence drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestTraceOrderPerRank asserts the causal order the paper's machinery
+// implies on every rank: the decision record precedes the redistribution
+// it triggers, which precedes the membership change it causes.
+func TestTraceOrderPerRank(t *testing.T) {
+	o := DefaultTraceOptions()
+	r, err := RunTrace(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < o.Nodes; node++ {
+		pos := map[string]int{}
+		for i, rec := range r.Records {
+			m := rec.Meta()
+			if m.Node != node {
+				continue
+			}
+			if _, seen := pos[m.K]; !seen {
+				pos[m.K] = i
+			}
+		}
+		dec, okD := pos[telemetry.KindDecision]
+		red, okR := pos[telemetry.KindRedist]
+		mem, okM := pos[telemetry.KindMembership]
+		if !okD || !okR || !okM {
+			t.Fatalf("node %d missing record kinds: %v", node, pos)
+		}
+		if !(dec < red && red < mem) {
+			t.Errorf("node %d order wrong: decision@%d redist@%d membership@%d", node, dec, red, mem)
+		}
+	}
+}
+
+// TestDecisionMatchesInstalledDistribution is the tentpole invariant: the
+// counts a DecisionRecord reports as chosen are exactly the counts of the
+// distribution the runtime then installs (RedistRecord and the adaptation
+// Event trace agree).
+func TestDecisionMatchesInstalledDistribution(t *testing.T) {
+	o := DefaultTraceOptions()
+	o.Drop = core.DropNever // exercise the successive-balancing path
+	r, err := RunTrace(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for node := 0; node < o.Nodes; node++ {
+		var lastDecision []int
+		for _, rec := range r.Records {
+			m := rec.Meta()
+			if m.Node != node {
+				continue
+			}
+			switch v := rec.(type) {
+			case telemetry.DecisionRecord:
+				if v.Counts != nil {
+					lastDecision = v.Counts
+					// The chosen candidate's counts must equal the decision's.
+					for _, c := range v.Candidates {
+						if c.Label == v.Chosen && !reflect.DeepEqual(c.Counts, v.Counts) {
+							t.Errorf("node %d: chosen candidate %v != decision counts %v", node, c.Counts, v.Counts)
+						}
+					}
+				}
+			case telemetry.RedistRecord:
+				if lastDecision == nil {
+					t.Errorf("node %d: redist at cycle %d with no preceding decision", node, m.Cycle)
+					continue
+				}
+				if !reflect.DeepEqual(v.Counts, lastDecision) {
+					t.Errorf("node %d: installed counts %v != decided counts %v", node, v.Counts, lastDecision)
+				}
+				checked++
+			}
+		}
+		// The runtime's own event trace must agree with the telemetry.
+		for _, ev := range r.Res.Stats[node].Events {
+			if ev.Kind == core.EvRedistEnd && !reflect.DeepEqual(ev.Counts, lastDecision) {
+				t.Errorf("node %d: event counts %v != decided counts %v", node, ev.Counts, lastDecision)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no decision/redist pairs verified")
+	}
+}
+
+// TestTraceDeterministic asserts byte-identical JSONL across runs.
+func TestTraceDeterministic(t *testing.T) {
+	encode := func() []byte {
+		r, err := RunTrace(DefaultTraceOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := telemetry.WriteJSONL(&buf, r.Records); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical trace runs produced different JSONL")
+	}
+	// And the JSONL round-trips through the decoder.
+	recs, err := telemetry.DecodeJSONL(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("decoded no records")
+	}
+}

@@ -14,6 +14,7 @@ package loadmon
 
 import (
 	"repro/internal/cluster"
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
 
@@ -24,6 +25,18 @@ const DefaultInterval = vclock.Duration(vclock.Second)
 type Monitor struct {
 	node     *cluster.Node
 	interval vclock.Duration
+
+	sink    telemetry.Sink // nil: no emission
+	stamper *telemetry.Stamper
+	cycleFn func() int // current phase cycle of the monitored application
+}
+
+// Attach routes every dmpi_ps reading through sink as a LoadSampleRecord.
+// cycleFn supplies the application's current phase cycle (may be nil).
+func (m *Monitor) Attach(sink telemetry.Sink, stamper *telemetry.Stamper, cycleFn func() int) {
+	m.sink = sink
+	m.stamper = stamper
+	m.cycleFn = cycleFn
 }
 
 // New creates a monitor for node with the default 1 s refresh.
@@ -48,7 +61,18 @@ func (m *Monitor) lastTick() vclock.Time {
 // Reading reports the dmpi_ps value: running+ready processes at the last
 // daemon refresh, with the monitored application always included.
 func (m *Monitor) Reading() int {
-	return 1 + m.node.CPCountAt(m.lastTick())
+	r := 1 + m.node.CPCountAt(m.lastTick())
+	if m.sink != nil {
+		cycle := -1
+		if m.cycleFn != nil {
+			cycle = m.cycleFn()
+		}
+		m.sink.Emit(telemetry.LoadSampleRecord{
+			Base:    m.stamper.Stamp(telemetry.KindLoadSample, cycle, m.node.Now().Seconds()),
+			Reading: r,
+		})
+	}
+	return r
 }
 
 // CompetingProcesses reports Reading minus the application itself — the

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// NodeSummary aggregates one node's iteration records.
+type NodeSummary struct {
+	Node      int
+	Cycles    int
+	ComputeS  float64
+	CommS     float64
+	WaitS     float64
+	LastShare int
+}
+
+// Summary is the aggregate view of a trace, the basis of the dynexp
+// -summary table.
+type Summary struct {
+	ByKind      map[string]int
+	Nodes       []NodeSummary // sorted by node id
+	Decisions   int
+	Redists     int
+	RowsSent    int
+	BytesSent   int64
+	Memberships []MembershipRecord // in trace order
+	LoadEvents  []LoadEventRecord  // in trace order
+}
+
+// Summarize aggregates a record stream.
+func Summarize(recs []Record) *Summary {
+	s := &Summary{ByKind: map[string]int{}}
+	byNode := map[int]*NodeSummary{}
+	for _, rec := range recs {
+		s.ByKind[rec.Kind()]++
+		switch v := rec.(type) {
+		case IterationRecord:
+			ns := byNode[v.Node]
+			if ns == nil {
+				ns = &NodeSummary{Node: v.Node}
+				byNode[v.Node] = ns
+			}
+			ns.Cycles++
+			ns.ComputeS += v.ComputeS
+			ns.CommS += v.CommS
+			ns.WaitS += v.WaitS
+			ns.LastShare = v.Share
+		case DecisionRecord:
+			s.Decisions++
+		case RedistRecord:
+			s.Redists++
+			s.RowsSent += v.RowsSent
+			s.BytesSent += v.BytesSent
+		case MembershipRecord:
+			s.Memberships = append(s.Memberships, v)
+		case LoadEventRecord:
+			s.LoadEvents = append(s.LoadEvents, v)
+		}
+	}
+	for _, ns := range byNode {
+		s.Nodes = append(s.Nodes, *ns)
+	}
+	sort.Slice(s.Nodes, func(i, j int) bool { return s.Nodes[i].Node < s.Nodes[j].Node })
+	return s
+}
+
+// WriteTable renders the summary as aligned text.
+func (s *Summary) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "telemetry summary\n")
+	kinds := make([]string, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-12s %6d records\n", k, s.ByKind[k])
+	}
+	if s.Redists > 0 {
+		fmt.Fprintf(w, "  redistributions: %d (rows sent %d, bytes sent %d; per-rank view)\n",
+			s.Redists, s.RowsSent, s.BytesSent)
+	}
+	if len(s.Nodes) > 0 {
+		fmt.Fprintf(w, "  %-5s %7s %11s %11s %11s %7s\n",
+			"node", "cycles", "compute(s)", "comm(s)", "wait(s)", "share")
+		for _, ns := range s.Nodes {
+			fmt.Fprintf(w, "  %-5d %7d %11.4f %11.4f %11.4f %7d\n",
+				ns.Node, ns.Cycles, ns.ComputeS, ns.CommS, ns.WaitS, ns.LastShare)
+		}
+	}
+	for _, m := range s.Memberships {
+		fmt.Fprintf(w, "  membership: cycle %d node %d %s active=%v removed=%v\n",
+			m.Cycle, m.Node, m.Change, m.Active, m.Removed)
+	}
+	for _, e := range s.LoadEvents {
+		fmt.Fprintf(w, "  load event: cycle %d node %d delta %+d -> %d CPs\n",
+			e.Cycle, e.Node, e.Delta, e.Count)
+	}
+}

@@ -1,0 +1,164 @@
+// Package telemetry is the runtime's structured observability layer. Every
+// adaptation decision the Dyn-MPI runtime takes — load measurement,
+// distribution choice, redistribution volume, node removal and rejoin — is
+// emitted as a typed record through a pluggable Sink, so the paper's claims
+// (successive balancing beats relative power; removal pays off under heavy
+// load) can be verified from a trace instead of reverse-engineered from
+// unexported state.
+//
+// The default is no telemetry at all: a runtime with a nil sink skips every
+// emission. Three sink implementations are provided: Nop (swallow), Ring
+// (bounded in-memory buffer, for tests and post-run aggregation) and
+// JSONLWriter (one JSON object per line, for offline analysis). Sinks must
+// be safe for concurrent use — every rank goroutine of a run emits into the
+// same sink.
+//
+// Records carry virtual time, the emitting node, the phase cycle and a
+// per-node sequence number. Per-node emission order is deterministic (the
+// simulator's virtual clocks are), so Sort's (time, node, seq) order yields
+// a reproducible global trace even though physical arrival order at the
+// sink depends on goroutine scheduling.
+package telemetry
+
+import "sort"
+
+// Record kinds, as written to the "kind" field of JSONL output.
+const (
+	KindIteration  = "iteration"
+	KindDecision   = "decision"
+	KindRedist     = "redist"
+	KindMembership = "membership"
+	KindLoadSample = "load-sample"
+	KindLoadEvent  = "load-event"
+)
+
+// Record is one structured telemetry event.
+type Record interface {
+	// Kind returns the record's kind constant.
+	Kind() string
+	// Meta returns the common fields.
+	Meta() Base
+}
+
+// Base holds the fields shared by every record.
+type Base struct {
+	K     string  `json:"kind"`
+	Node  int     `json:"node"`  // world rank / cluster node id of the emitter
+	Cycle int     `json:"cycle"` // phase cycle at emission (-1 when not in a cycle)
+	Time  float64 `json:"vt"`    // virtual time in seconds
+	Seq   int     `json:"seq"`   // per-node emission counter
+}
+
+// Kind implements Record.
+func (b Base) Kind() string { return b.K }
+
+// Meta implements Record.
+func (b Base) Meta() Base { return b }
+
+// Stamper assigns per-node sequence numbers and fills the common fields.
+// One stamper serves all emitters running on a single node's goroutine.
+type Stamper struct {
+	node int
+	seq  int
+}
+
+// NewStamper creates a stamper for the given node id.
+func NewStamper(node int) *Stamper { return &Stamper{node: node} }
+
+// Stamp produces the Base for the next record emitted by this node.
+func (s *Stamper) Stamp(kind string, cycle int, vtSeconds float64) Base {
+	b := Base{K: kind, Node: s.node, Cycle: cycle, Time: vtSeconds, Seq: s.seq}
+	s.seq++
+	return b
+}
+
+// IterationRecord describes one phase cycle on one node: wall-clock split
+// into compute, communication and wait, plus the node's measured share of
+// the iteration space and its observed load.
+type IterationRecord struct {
+	Base
+	ComputeS float64 `json:"compute_s"` // CPU seconds spent computing
+	CommS    float64 `json:"comm_s"`    // CPU seconds spent on message processing
+	WaitS    float64 `json:"wait_s"`    // wall seconds blocked (recv, collectives, CP delay)
+	Share    int     `json:"share"`     // iterations assigned to this node
+	Load     int     `json:"load"`      // competing processes observed this cycle
+}
+
+// Candidate is one distribution the decision machinery considered.
+type Candidate struct {
+	Label      string  `json:"label"`            // e.g. "relative-power", "successive-balancing"
+	Counts     []int   `json:"counts"`           // iterations per active node
+	PredictedS float64 `json:"predicted_s"`      // predicted per-cycle time
+	Rounds     int     `json:"rounds,omitempty"` // balancing rounds until convergence
+}
+
+// DecisionRecord captures one adaptation decision: the loads that triggered
+// it, every candidate distribution considered, and what was chosen.
+type DecisionRecord struct {
+	Base
+	Method     string      `json:"method"` // configured method or drop policy
+	Loads      []int       `json:"loads"`  // per-active-node competing processes
+	Candidates []Candidate `json:"candidates,omitempty"`
+	Chosen     string      `json:"chosen"`               // label of the winning candidate or verdict
+	Counts     []int       `json:"counts,omitempty"`     // the distribution actually installed
+	PredictedS float64     `json:"predicted_s"`          // predicted per-cycle time of the choice
+	MeasuredS  float64     `json:"measured_s,omitempty"` // measured time (drop decisions only)
+}
+
+// ArrayMove is one array's share of a redistribution.
+type ArrayMove struct {
+	Name  string `json:"name"`
+	Rows  int    `json:"rows"`  // rows this node sent
+	Bytes int64  `json:"bytes"` // bytes this node packed and sent
+}
+
+// RedistRecord describes one executed redistribution from the emitting
+// node's perspective: what it shipped per array and the new distribution.
+type RedistRecord struct {
+	Base
+	Arrays     []ArrayMove `json:"arrays,omitempty"`
+	RowsSent   int         `json:"rows_sent"`
+	BytesSent  int64       `json:"bytes_sent"`
+	BytesMoved int64       `json:"bytes_moved"` // sent + received by this node
+	Counts     []int       `json:"counts"`      // installed per-node iteration counts
+}
+
+// MembershipRecord describes a change of the active node set: a physical
+// drop, a logical drop, a removal (emitted by the node leaving) or a
+// rejoin. Remap is the new relative-rank mapping: Remap[rel] = world rank.
+type MembershipRecord struct {
+	Base
+	Change  string `json:"change"` // "drop", "logical-drop", "removed", "rejoin", "rejoined"
+	Active  []int  `json:"active"`
+	Removed []int  `json:"removed,omitempty"`
+	Remap   []int  `json:"remap"` // relative rank -> world rank
+}
+
+// LoadSampleRecord is one dmpi_ps reading taken by the load monitor.
+type LoadSampleRecord struct {
+	Base
+	Reading int `json:"reading"` // running+ready processes incl. the application
+}
+
+// LoadEventRecord marks a competing-process change materialising on a node
+// (cycle-triggered scenario events).
+type LoadEventRecord struct {
+	Base
+	Delta int `json:"delta"` // +1 CP started, -1 CP stopped
+	Count int `json:"count"` // CP count after the change
+}
+
+// Sort orders records by (virtual time, node, per-node sequence), the
+// deterministic global order of a simulated run.
+func Sort(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool {
+		a, b := recs[i].Meta(), recs[j].Meta()
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStamperSequencesPerNode(t *testing.T) {
+	s := NewStamper(3)
+	b0 := s.Stamp(KindIteration, 0, 0.5)
+	b1 := s.Stamp(KindDecision, 1, 0.75)
+	if b0.Node != 3 || b1.Node != 3 {
+		t.Fatalf("node not stamped: %+v %+v", b0, b1)
+	}
+	if b0.Seq != 0 || b1.Seq != 1 {
+		t.Fatalf("sequence not monotone: %d %d", b0.Seq, b1.Seq)
+	}
+	if b0.Kind() != KindIteration || b1.Kind() != KindDecision {
+		t.Fatalf("kinds wrong: %q %q", b0.Kind(), b1.Kind())
+	}
+}
+
+func TestRingKeepsMostRecent(t *testing.T) {
+	r := NewRing(3)
+	s := NewStamper(0)
+	for i := 0; i < 5; i++ {
+		r.Emit(IterationRecord{Base: s.Stamp(KindIteration, i, float64(i))})
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", r.Dropped())
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d, want 3", len(recs))
+	}
+	for i, rec := range recs {
+		if got := rec.Meta().Cycle; got != i+2 {
+			t.Fatalf("record %d has cycle %d, want %d (oldest evicted first)", i, got, i+2)
+		}
+	}
+}
+
+func TestRingConcurrentEmit(t *testing.T) {
+	r := NewRing(1024)
+	var wg sync.WaitGroup
+	for n := 0; n < 8; n++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			s := NewStamper(node)
+			for i := 0; i < 100; i++ {
+				r.Emit(IterationRecord{Base: s.Stamp(KindIteration, i, float64(i))})
+			}
+		}(n)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("len = %d, want 800", r.Len())
+	}
+}
+
+func TestSortIsDeterministicOrder(t *testing.T) {
+	recs := []Record{
+		IterationRecord{Base: Base{K: KindIteration, Node: 1, Time: 2.0, Seq: 0}},
+		IterationRecord{Base: Base{K: KindIteration, Node: 0, Time: 2.0, Seq: 1}},
+		IterationRecord{Base: Base{K: KindIteration, Node: 0, Time: 2.0, Seq: 0}},
+		IterationRecord{Base: Base{K: KindIteration, Node: 2, Time: 1.0, Seq: 5}},
+	}
+	Sort(recs)
+	want := []struct {
+		node, seq int
+		time      float64
+	}{{2, 5, 1.0}, {0, 0, 2.0}, {0, 1, 2.0}, {1, 0, 2.0}}
+	for i, w := range want {
+		m := recs[i].Meta()
+		if m.Node != w.node || m.Seq != w.seq || m.Time != w.time {
+			t.Fatalf("position %d: got node=%d seq=%d t=%v, want %+v", i, m.Node, m.Seq, m.Time, w)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := []Record{
+		IterationRecord{Base: Base{K: KindIteration, Node: 0, Cycle: 3, Time: 0.25, Seq: 0},
+			ComputeS: 0.2, CommS: 0.01, WaitS: 0.04, Share: 32, Load: 1},
+		DecisionRecord{Base: Base{K: KindDecision, Node: 0, Cycle: 5, Time: 0.5, Seq: 1},
+			Method: "successive-balancing", Loads: []int{0, 1, 0, 0},
+			Candidates: []Candidate{
+				{Label: "relative-power", Counts: []int{37, 18, 37, 36}, PredictedS: 0.02},
+				{Label: "successive-balancing", Counts: []int{40, 9, 40, 39}, PredictedS: 0.015, Rounds: 3},
+			},
+			Chosen: "successive-balancing", Counts: []int{40, 9, 40, 39}, PredictedS: 0.015},
+		RedistRecord{Base: Base{K: KindRedist, Node: 2, Cycle: 5, Time: 0.51, Seq: 0},
+			Arrays:   []ArrayMove{{Name: "A", Rows: 7, Bytes: 7168}},
+			RowsSent: 7, BytesSent: 7168, BytesMoved: 14336, Counts: []int{40, 9, 40, 39}},
+		MembershipRecord{Base: Base{K: KindMembership, Node: 1, Cycle: 20, Time: 1.5, Seq: 2},
+			Change: "removed", Active: []int{0, 2, 3}, Removed: []int{1}, Remap: []int{0, 2, 3}},
+		LoadSampleRecord{Base: Base{K: KindLoadSample, Node: 3, Cycle: 8, Time: 0.8, Seq: 4}, Reading: 2},
+		LoadEventRecord{Base: Base{K: KindLoadEvent, Node: 1, Cycle: 10, Time: 1.0, Seq: 9}, Delta: 1, Count: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, back) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", back, recs)
+	}
+}
+
+func TestDecodeJSONLRejectsUnknownKind(t *testing.T) {
+	_, err := DecodeJSONL(strings.NewReader(`{"kind":"mystery","node":0}` + "\n"))
+	if err == nil || !strings.Contains(err.Error(), "unknown kind") {
+		t.Fatalf("err = %v, want unknown-kind error", err)
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewRing(8), NewRing(8)
+	m := Multi(a, b, Nop())
+	m.Emit(IterationRecord{Base: Base{K: KindIteration}})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out failed: %d %d", a.Len(), b.Len())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	recs := []Record{
+		IterationRecord{Base: Base{K: KindIteration, Node: 0, Cycle: 0}, ComputeS: 1, CommS: 0.1, WaitS: 0.2, Share: 50},
+		IterationRecord{Base: Base{K: KindIteration, Node: 0, Cycle: 1}, ComputeS: 1, CommS: 0.1, WaitS: 0.2, Share: 60},
+		IterationRecord{Base: Base{K: KindIteration, Node: 1, Cycle: 0}, ComputeS: 2, CommS: 0.2, WaitS: 0.1, Share: 40},
+		DecisionRecord{Base: Base{K: KindDecision, Node: 0, Cycle: 1}},
+		RedistRecord{Base: Base{K: KindRedist, Node: 0, Cycle: 1}, RowsSent: 10, BytesSent: 1000},
+		RedistRecord{Base: Base{K: KindRedist, Node: 1, Cycle: 1}, RowsSent: 5, BytesSent: 500},
+		MembershipRecord{Base: Base{K: KindMembership, Node: 0, Cycle: 2}, Change: "drop"},
+	}
+	s := Summarize(recs)
+	if s.ByKind[KindIteration] != 3 || s.Decisions != 1 || s.Redists != 2 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.RowsSent != 15 || s.BytesSent != 1500 {
+		t.Fatalf("redist totals wrong: rows=%d bytes=%d", s.RowsSent, s.BytesSent)
+	}
+	if len(s.Nodes) != 2 || s.Nodes[0].Cycles != 2 || s.Nodes[0].LastShare != 60 || s.Nodes[1].ComputeS != 2 {
+		t.Fatalf("node summaries wrong: %+v", s.Nodes)
+	}
+	var buf bytes.Buffer
+	s.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"iteration", "redistributions: 2", "membership: cycle 2 node 0 drop"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
