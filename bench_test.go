@@ -21,6 +21,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/matrix"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
 
@@ -42,6 +43,7 @@ func benchResult(b *testing.B, res apps.Result, err error) {
 // --- Figure 4: one cell per application ------------------------------------
 
 func BenchmarkFig4Jacobi(b *testing.B) {
+	b.ReportAllocs()
 	cfg := jacobi.DefaultConfig()
 	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 128, 128, 80, 10e3
 	for i := 0; i < b.N; i++ {
@@ -51,6 +53,7 @@ func BenchmarkFig4Jacobi(b *testing.B) {
 }
 
 func BenchmarkFig4SOR(b *testing.B) {
+	b.ReportAllocs()
 	cfg := sor.DefaultConfig()
 	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 128, 128, 80, 10e3
 	for i := 0; i < b.N; i++ {
@@ -60,6 +63,7 @@ func BenchmarkFig4SOR(b *testing.B) {
 }
 
 func BenchmarkFig4CG(b *testing.B) {
+	b.ReportAllocs()
 	cfg := cg.DefaultConfig()
 	cfg.N, cfg.Iters, cfg.CostPerNnz = 600, 60, 20e3
 	for i := 0; i < b.N; i++ {
@@ -69,6 +73,7 @@ func BenchmarkFig4CG(b *testing.B) {
 }
 
 func BenchmarkFig4Particles(b *testing.B) {
+	b.ReportAllocs()
 	cfg := particles.DefaultConfig()
 	cfg.Rows, cfg.Cols, cfg.Steps, cfg.CostPerParticle = 64, 64, 80, 30e3
 	cfg.ExtraAllP0 = 1
@@ -82,6 +87,7 @@ func BenchmarkFig4Particles(b *testing.B) {
 // --- §5.1 CG case study ------------------------------------------------------
 
 func BenchmarkCGTable(b *testing.B) {
+	b.ReportAllocs()
 	cfg := cg.DefaultConfig()
 	cfg.N, cfg.Iters, cfg.CostPerNnz = 600, 60, 20e3
 	cfg.Core.Drop = core.DropNever
@@ -94,6 +100,7 @@ func BenchmarkCGTable(b *testing.B) {
 // --- Figure 5: multiple redistribution points -------------------------------
 
 func BenchmarkFig5ShortExecution(b *testing.B) {
+	b.ReportAllocs()
 	cfg := jacobi.DefaultConfig()
 	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 128, 512, 90, 3e3
 	cfg.Core.Drop = core.DropNever
@@ -109,6 +116,7 @@ func BenchmarkFig5ShortExecution(b *testing.B) {
 // --- Figure 6: node removal --------------------------------------------------
 
 func BenchmarkFig6KeepVsDrop(b *testing.B) {
+	b.ReportAllocs()
 	cfg := sor.DefaultConfig()
 	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 128, 256, 60, 6e3
 	spec := cluster.Uniform(8).With(cluster.TimeEvent(4, 0, +1))
@@ -129,6 +137,7 @@ func BenchmarkFig6KeepVsDrop(b *testing.B) {
 // --- Figure 7: grace periods -------------------------------------------------
 
 func BenchmarkFig7GracePeriods(b *testing.B) {
+	b.ReportAllocs()
 	cfg := particles.DefaultConfig()
 	cfg.Rows, cfg.Cols, cfg.Steps, cfg.CostPerParticle = 64, 48, 120, 5e3
 	cfg.ExtraTopP0 = 10
@@ -147,10 +156,12 @@ func BenchmarkFig7GracePeriods(b *testing.B) {
 // --- §4.1 allocation comparison ----------------------------------------------
 
 func BenchmarkAllocProjectionGrow(b *testing.B) {
+	b.ReportAllocs()
 	benchAllocGrow(b, matrix.Projection)
 }
 
 func BenchmarkAllocContiguousGrow(b *testing.B) {
+	b.ReportAllocs()
 	benchAllocGrow(b, matrix.Contiguous)
 }
 
@@ -167,6 +178,7 @@ func benchAllocGrow(b *testing.B, scheme matrix.Alloc) {
 // --- §4.3 micro-benchmarks -----------------------------------------------------
 
 func BenchmarkMicrobenchPairFraction(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if f := distribution.MeasurePairFraction(1, 16); f <= 0 || f > 0.5 {
 			b.Fatalf("fraction %v out of range", f)
@@ -175,6 +187,7 @@ func BenchmarkMicrobenchPairFraction(b *testing.B) {
 }
 
 func BenchmarkSuccessiveBalancing(b *testing.B) {
+	b.ReportAllocs()
 	nodes := make([]distribution.Node, 32)
 	for i := range nodes {
 		nodes[i] = distribution.Node{Rank: i, Power: 1}
@@ -188,6 +201,7 @@ func BenchmarkSuccessiveBalancing(b *testing.B) {
 }
 
 func BenchmarkPartitionWeighted(b *testing.B) {
+	b.ReportAllocs()
 	costs := make([]float64, 16384)
 	for i := range costs {
 		costs[i] = float64(i%7 + 1)
@@ -202,11 +216,17 @@ func BenchmarkPartitionWeighted(b *testing.B) {
 // --- substrate micro-benchmarks -----------------------------------------------
 
 func BenchmarkMPISendRecv(b *testing.B) {
+	b.ReportAllocs()
 	payload := make([]float64, 1024)
+	// Box the payload once: Send takes `any`, and re-boxing a slice on every
+	// call would charge the benchmark one allocation that real hot loops can
+	// (and should) hoist exactly like this.
+	var boxed any = payload
+	bytes := mpi.F64Bytes(len(payload))
 	err := mpi.Run(cluster.New(cluster.Uniform(2)), func(c *mpi.Comm) error {
 		if c.Rank() == 0 {
 			for i := 0; i < b.N; i++ {
-				c.Send(1, 0, payload, mpi.F64Bytes(len(payload)))
+				c.Send(1, 0, boxed, bytes)
 			}
 		} else {
 			for i := 0; i < b.N; i++ {
@@ -221,6 +241,7 @@ func BenchmarkMPISendRecv(b *testing.B) {
 }
 
 func BenchmarkMPIAllreduce8(b *testing.B) {
+	b.ReportAllocs()
 	err := mpi.Run(cluster.New(cluster.Uniform(8)), func(c *mpi.Comm) error {
 		g := c.World().AllGroup()
 		v := []float64{float64(c.Rank())}
@@ -235,18 +256,24 @@ func BenchmarkMPIAllreduce8(b *testing.B) {
 }
 
 func BenchmarkRedistributionSchedule(b *testing.B) {
+	b.ReportAllocs()
 	ranks := []int{0, 1, 2, 3, 4, 5, 6, 7}
 	old := drsd.EqualBlock(ranks, 16384)
 	counts := []int{1000, 3000, 2000, 2500, 1500, 2000, 2384, 2000}
 	nw := drsd.NewBlock(ranks, counts)
 	acc := []drsd.Access{{Array: "A", Step: 1, Off: 0}, {Array: "A", Step: 1, Off: -1}, {Array: "A", Step: 1, Off: 1}}
+	var buf []drsd.Transfer
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		drsd.ScheduleWindows(old, nw, acc)
+		buf = drsd.ScheduleWindowsInto(buf[:0], old, nw, acc)
+	}
+	if len(buf) == 0 {
+		b.Fatal("schedule produced no transfers")
 	}
 }
 
 func BenchmarkSparsePackUnpack(b *testing.B) {
+	b.ReportAllocs()
 	s := matrix.NewSparse("S", 1, nil)
 	s.SetWindow(0, 1)
 	for k := 0; k < 256; k++ {
@@ -261,6 +288,7 @@ func BenchmarkSparsePackUnpack(b *testing.B) {
 }
 
 func BenchmarkNodeCompute(b *testing.B) {
+	b.ReportAllocs()
 	spec := cluster.Uniform(1).With(cluster.TimeEvent(0, 0, +1))
 	n := cluster.New(spec).Node(0)
 	b.ResetTimer()
@@ -269,7 +297,39 @@ func BenchmarkNodeCompute(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOverhead prices the observability layer on the canonical
+// loaded-4 scenario: the same adaptive jacobi cell with no sink (the
+// default — instrumentation must cost nothing) and with a ring sink
+// capturing every record. The nil/ring delta is the telemetry budget.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	cfg := jacobi.DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 128, 128, 80, 10e3
+	b.Run("nil-sink", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Core.Telemetry = nil
+			res, err := jacobi.Run(cluster.New(loaded4()), c)
+			benchResult(b, res, err)
+		}
+	})
+	b.Run("ring-sink", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			ring := telemetry.NewRing(1 << 16)
+			c.Core.Telemetry = ring
+			res, err := jacobi.Run(cluster.New(loaded4()), c)
+			benchResult(b, res, err)
+			if ring.Len() == 0 {
+				b.Fatal("ring sink captured no records")
+			}
+		}
+	})
+}
+
 func BenchmarkEndToEndQuickJacobi(b *testing.B) {
+	b.ReportAllocs()
 	// Whole-stack sanity benchmark: a complete adaptive run per iteration.
 	o := exp.DefaultFig4Options()
 	_ = o // options documented; the cell below matches fig4's jacobi/4 shape

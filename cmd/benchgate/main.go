@@ -1,0 +1,250 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// when the new run regresses: it is the CI allocation/latency budget.
+//
+//	benchgate -old baseline.txt -new current.txt [-threshold 0.20]
+//
+// For every benchmark present in both files the median time/op and median
+// allocs/op are compared. The gate fails (exit 1) when either grows by more
+// than the threshold fraction; an allocs/op count rising above a zero
+// baseline always fails, since 0 → anything is an unbounded relative
+// regression. Benchmarks present on only one side are reported but never
+// fail the gate, so adding or removing benchmarks doesn't wedge CI.
+//
+// Medians (rather than means) make the gate robust to one noisy sample when
+// benchmarks run with -count > 1. Time thresholds are deliberately loose —
+// shared CI runners jitter — while allocs/op is deterministic, so even a
+// small threshold catches real allocation regressions exactly.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark result line.
+type sample struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// bench aggregates the samples of one benchmark name.
+type bench struct {
+	name    string
+	samples []sample
+}
+
+// parseBench reads `go test -bench` output and groups result lines by
+// benchmark name. Lines that are not benchmark results (headers, PASS/ok,
+// log output) are ignored.
+func parseBench(r io.Reader) (map[string]*bench, error) {
+	out := map[string]*bench{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		// Minimum shape: Name N <value> ns/op
+		if len(f) < 4 {
+			continue
+		}
+		name := stripGOMAXPROCS(f[0])
+		var s sample
+		ok := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch f[i+1] {
+			case "ns/op":
+				s.nsPerOp, ok = v, true
+			case "allocs/op":
+				s.allocsPerOp, s.hasAllocs = v, true
+			}
+		}
+		if !ok {
+			continue
+		}
+		b := out[name]
+		if b == nil {
+			b = &bench{name: name}
+			out[name] = b
+		}
+		b.samples = append(b.samples, s)
+	}
+	return out, sc.Err()
+}
+
+// stripGOMAXPROCS removes the -N processor-count suffix go test appends to
+// benchmark names, so runs on machines with different core counts compare.
+func stripGOMAXPROCS(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func (b *bench) medianTime() float64 {
+	vals := make([]float64, len(b.samples))
+	for i, s := range b.samples {
+		vals[i] = s.nsPerOp
+	}
+	return median(vals)
+}
+
+// medianAllocs returns the median allocs/op and whether any sample carried
+// an allocation count (benchmarks without ReportAllocs don't).
+func (b *bench) medianAllocs() (float64, bool) {
+	var vals []float64
+	for _, s := range b.samples {
+		if s.hasAllocs {
+			vals = append(vals, s.allocsPerOp)
+		}
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	return median(vals), true
+}
+
+// regression is one gate violation.
+type regression struct {
+	name     string
+	metric   string
+	old, new float64
+}
+
+func (r regression) String() string {
+	return fmt.Sprintf("%s: %s regressed %.4g -> %.4g (%+.1f%%)",
+		r.name, r.metric, r.old, r.new, 100*(r.new/nonZero(r.old)-1))
+}
+
+func nonZero(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// exceeds reports whether new regresses past old by more than the threshold
+// fraction. A zero baseline is an absolute budget: any growth fails.
+func exceeds(old, new, threshold float64) bool {
+	if old == 0 {
+		return new > 0
+	}
+	return new > old*(1+threshold)
+}
+
+// gate compares two parsed runs and returns every violation plus a
+// human-readable comparison table.
+func gate(old, new map[string]*bench, threshold float64) (regressions []regression, report []string) {
+	names := make([]string, 0, len(new))
+	for name := range new {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		nb := new[name]
+		ob, ok := old[name]
+		if !ok {
+			report = append(report, fmt.Sprintf("%-44s new benchmark, no baseline", name))
+			continue
+		}
+		ot, nt := ob.medianTime(), nb.medianTime()
+		line := fmt.Sprintf("%-44s time/op %10.4g -> %10.4g", name, ot, nt)
+		if exceeds(ot, nt, threshold) {
+			regressions = append(regressions, regression{name, "time/op", ot, nt})
+			line += "  FAIL"
+		}
+		if oa, ok := ob.medianAllocs(); ok {
+			if na, ok := nb.medianAllocs(); ok {
+				line += fmt.Sprintf("   allocs/op %8.4g -> %8.4g", oa, na)
+				if exceeds(oa, na, threshold) {
+					regressions = append(regressions, regression{name, "allocs/op", oa, na})
+					line += "  FAIL"
+				}
+			}
+		}
+		report = append(report, line)
+	}
+	for name := range old {
+		if _, ok := new[name]; !ok {
+			report = append(report, fmt.Sprintf("%-44s removed (baseline only)", name))
+		}
+	}
+	sort.Strings(report)
+	return regressions, report
+}
+
+func run(oldPath, newPath string, threshold float64, w io.Writer) (int, error) {
+	parse := func(path string) (map[string]*bench, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parseBench(f)
+	}
+	old, err := parse(oldPath)
+	if err != nil {
+		return 2, err
+	}
+	cur, err := parse(newPath)
+	if err != nil {
+		return 2, err
+	}
+	if len(cur) == 0 {
+		return 2, fmt.Errorf("no benchmark results in %s", newPath)
+	}
+	regs, report := gate(old, cur, threshold)
+	for _, line := range report {
+		fmt.Fprintln(w, line)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(w, "\nbenchgate: %d regression(s) beyond %.0f%%:\n", len(regs), threshold*100)
+		for _, r := range regs {
+			fmt.Fprintf(w, "  %s\n", r)
+		}
+		return 1, nil
+	}
+	fmt.Fprintf(w, "\nbenchgate: ok (%d benchmarks within %.0f%%)\n", len(cur), threshold*100)
+	return 0, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline `file` (go test -bench output)")
+	newPath := flag.String("new", "", "current `file` (go test -bench output)")
+	threshold := flag.Float64("threshold", 0.20, "allowed regression `fraction` per metric")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -old baseline.txt -new current.txt [-threshold 0.20]")
+		os.Exit(2)
+	}
+	code, err := run(*oldPath, *newPath, *threshold, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineTxt = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkMPISendRecv-8            1508004    252.6 ns/op    132 B/op    0 allocs/op
+BenchmarkMPISendRecv-8            1500000    260.0 ns/op    132 B/op    0 allocs/op
+BenchmarkMPISendRecv-8            1490000    249.0 ns/op    132 B/op    0 allocs/op
+BenchmarkRedistributionSchedule-8  629564    353.7 ns/op      0 B/op    0 allocs/op
+BenchmarkSuccessiveBalancing-8    3354069    358.5 ns/op    768 B/op    3 allocs/op
+BenchmarkNodeCompute-8           12000000     95.0 ns/op
+PASS
+ok  	repro	1.286s
+`
+
+func parse(t *testing.T, text string) map[string]*bench {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBenchMediansAndSuffixStripping(t *testing.T) {
+	m := parse(t, baselineTxt)
+	if len(m) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(m), m)
+	}
+	sr, ok := m["BenchmarkMPISendRecv"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if got := sr.medianTime(); got != 252.6 {
+		t.Errorf("median time = %v, want 252.6 (median of 3 samples)", got)
+	}
+	if a, ok := sr.medianAllocs(); !ok || a != 0 {
+		t.Errorf("median allocs = %v,%v, want 0,true", a, ok)
+	}
+	if _, ok := m["BenchmarkNodeCompute"].medianAllocs(); ok {
+		t.Error("benchmark without allocs/op reported an alloc median")
+	}
+}
+
+func TestGatePassesOnEqualAndImproved(t *testing.T) {
+	old := parse(t, baselineTxt)
+	improved := strings.ReplaceAll(baselineTxt, "358.5 ns/op    768 B/op    3 allocs/op", "120.0 ns/op    256 B/op    1 allocs/op")
+	for name, cur := range map[string]map[string]*bench{"equal": old, "improved": parse(t, improved)} {
+		if regs, _ := gate(old, cur, 0.20); len(regs) != 0 {
+			t.Errorf("%s run flagged regressions: %v", name, regs)
+		}
+	}
+}
+
+func TestGateFailsOnSyntheticRegressions(t *testing.T) {
+	old := parse(t, baselineTxt)
+	cases := []struct {
+		name, from, to, metric string
+	}{
+		// +39% time/op: past the 20% budget. (A single regressed sample of a
+		// multi-sample benchmark would be absorbed by the median, so the
+		// synthetic regression targets a single-sample one.)
+		{"time", "358.5 ns/op    768 B/op    3 allocs/op", "500.0 ns/op    768 B/op    3 allocs/op", "time/op"},
+		// 3 -> 5 allocs/op (+67%).
+		{"allocs", "358.5 ns/op    768 B/op    3 allocs/op", "360.0 ns/op    768 B/op    5 allocs/op", "allocs/op"},
+		// 0 -> 1 allocs/op: zero baselines are absolute budgets.
+		{"zero-allocs", "353.7 ns/op      0 B/op    0 allocs/op", "353.7 ns/op     24 B/op    1 allocs/op", "allocs/op"},
+	}
+	for _, tc := range cases {
+		cur := parse(t, strings.ReplaceAll(baselineTxt, tc.from, tc.to))
+		regs, _ := gate(old, cur, 0.20)
+		if len(regs) == 0 {
+			t.Errorf("%s: synthetic regression not caught", tc.name)
+			continue
+		}
+		if regs[0].metric != tc.metric {
+			t.Errorf("%s: flagged %s, want %s", tc.name, regs[0].metric, tc.metric)
+		}
+	}
+}
+
+func TestGateIgnoresAddedAndRemovedBenchmarks(t *testing.T) {
+	old := parse(t, baselineTxt)
+	cur := parse(t, baselineTxt+"BenchmarkBrandNew-8   100   1.0 ns/op   0 B/op   0 allocs/op\n")
+	delete(cur, "BenchmarkNodeCompute")
+	regs, report := gate(old, cur, 0.20)
+	if len(regs) != 0 {
+		t.Fatalf("membership changes flagged as regressions: %v", regs)
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "no baseline") || !strings.Contains(joined, "removed") {
+		t.Errorf("report does not mention membership changes:\n%s", joined)
+	}
+}
+
+// TestRunEndToEnd drives the CLI entry point the way CI does, including the
+// non-zero exit code on a >20% synthetic regression.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	if err := os.WriteFile(oldPath, []byte(baselineTxt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Regress two of the three samples so the median itself moves — a single
+	// outlier sample must NOT trip the gate (that robustness is the point of
+	// taking medians), so it wouldn't exercise the failure path here.
+	regressed := strings.NewReplacer(
+		"252.6 ns/op", "999.0 ns/op",
+		"260.0 ns/op", "998.0 ns/op",
+	).Replace(baselineTxt)
+	if err := os.WriteFile(newPath, []byte(regressed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	code, err := run(oldPath, newPath, 0.20, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("regressed run: code=%d err=%v, want 1,nil\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "time/op regressed") {
+		t.Errorf("report missing regression line:\n%s", out.String())
+	}
+
+	out.Reset()
+	code, err = run(oldPath, oldPath, 0.20, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("clean run: code=%d err=%v, want 0,nil\n%s", code, err, out.String())
+	}
+}

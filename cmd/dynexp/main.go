@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,7 +36,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|all}\n")
+	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] [-cpuprofile f] [-memprofile f] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|all}\n")
 	os.Exit(2)
 }
 
@@ -43,10 +45,47 @@ func main() {
 	nodesFlag := flag.String("nodes", "", "comma-separated node counts (fig4/fig6 only)")
 	traceFile := flag.String("trace", "", "write the telemetry record stream as JSONL to this file (trace subcommand)")
 	summary := flag.Bool("summary", false, "print a telemetry aggregation table (trace subcommand)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiment(s) to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
+	}
+
+	// stopProfiles flushes any requested profiles; it must run on the error
+	// exit path too (os.Exit skips defers), so it is called explicitly.
+	stopProfiles := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dynexp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dynexp: start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memProfile != "" {
+		stopCPU := stopProfiles
+		stopProfiles = func() {
+			stopCPU()
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dynexp: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dynexp: write heap profile: %v\n", err)
+			}
+		}
 	}
 
 	var nodes []int
@@ -174,7 +213,9 @@ func main() {
 	for _, name := range names {
 		if err := run(name); err != nil {
 			fmt.Fprintf(os.Stderr, "dynexp %s: %v\n", name, err)
+			stopProfiles()
 			os.Exit(1)
 		}
 	}
+	stopProfiles()
 }

@@ -109,8 +109,12 @@ func Run(cl *cluster.Cluster, cfg Config) (apps.Result, error) {
 			return vclock.Duration(float64(owned) * cfg.CostPerVecElem * 8)
 		}
 		var resNorm float64
+		// One reduction buffer for the whole solve: each iteration zeroes
+		// it, deposits the owned partial products, and reduces in place.
+		q := make([]float64, cfg.N)
 		for t := 0; t < cfg.Iters; t++ {
-			qContrib := make([]float64, cfg.N)
+			qContrib := q
+			clear(qContrib)
 			if rt.BeginCycle() {
 				lo, hi = ph.Bounds()
 				for g := lo; g < hi; g++ {
@@ -124,7 +128,7 @@ func Run(cl *cluster.Cluster, cfg Config) (apps.Result, error) {
 				rt.Compute(vecCost(hi - lo))
 			}
 			// Assemble the full q on every rank (the SpMV exchange).
-			q := rt.AllreduceF64s(qContrib, mpi.Sum)
+			rt.AllreduceF64sInto(qContrib, mpi.Sum)
 			// Replicated vector updates: identical arithmetic everywhere.
 			alpha := rho / dot(p, q)
 			for i := range x {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/distribution"
 	"repro/internal/drsd"
 	"repro/internal/loadmon"
+	"repro/internal/mpi"
 	"repro/internal/telemetry"
 	"repro/internal/timing"
 )
@@ -104,13 +105,9 @@ func (rt *Runtime) measureComm(cycles int) (commCPU, commWire float64) {
 	per := 1.0 / float64(cycles)
 	cpu := (msgs*net.CPUPerMsg.Seconds() + bytes*net.CPUPerByte/1e9) * per
 	wire := (msgs/2*net.Latency.Seconds() + bytes/2/net.BytesPerSec) * per
-	out := rt.comm.AllreduceF64s(rt.group, []float64{cpu, wire}, func(a, b float64) float64 {
-		if a > b {
-			return a
-		}
-		return b
-	})
-	return out[0], out[1]
+	buf := [2]float64{cpu, wire}
+	rt.comm.AllreduceF64sInto(rt.group, buf[:], mpi.Max)
+	return buf[0], buf[1]
 }
 
 // gatherEstimates assembles the global per-iteration cost vector from every

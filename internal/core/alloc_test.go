@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/drsd"
+	"repro/internal/mpi"
+)
+
+// With a nil telemetry sink the runtime promises that instrumentation costs
+// nothing: the cycle bracket (BeginCycle/EndCycle with adaptation off) and
+// every emit helper must perform zero heap allocations. This pins the
+// "pre-size record slices only when a sink is attached" discipline — a
+// regression here means telemetry started taxing un-instrumented runs.
+func TestNilSinkHotPathsAllocFree(t *testing.T) {
+	err := mpi.Run(cluster.New(cluster.Uniform(1)), func(c *mpi.Comm) error {
+		cfg := DefaultConfig()
+		cfg.Adapt = false // isolate the cycle bracket from the decision path
+		rt := New(c, cfg)
+		rt.RegisterDense("X", 64, 4)
+		ph := rt.InitPhase(64)
+		ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+		rt.Commit()
+
+		// Warm up once so lazy initialisation doesn't count.
+		rt.BeginCycle()
+		rt.EndCycle()
+
+		if n := testing.AllocsPerRun(200, func() {
+			rt.BeginCycle()
+			rt.EndCycle()
+		}); n != 0 {
+			t.Errorf("nil-sink cycle bracket allocated %v times per cycle, want 0", n)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			rt.beginCycleTelemetry()
+			rt.endCycleTelemetry()
+			rt.emitMembership("drop")
+		}); n != 0 {
+			t.Errorf("nil-sink emit helpers allocated %v times per call, want 0", n)
+		}
+		rt.Finalize()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -43,14 +43,46 @@ func (rt *Runtime) AllreduceF64s(vals []float64, op func(a, b float64) float64) 
 	return out
 }
 
+// AllreduceF64sInto reduces buf element-wise across the active nodes,
+// storing the result back into buf (send-out aware). Unlike AllreduceF64s
+// nothing retains the buffer afterwards, so per-cycle reductions can recycle
+// one slice indefinitely.
+func (rt *Runtime) AllreduceF64sInto(buf []float64, op func(a, b float64) float64) {
+	if rt.isOut {
+		copy(buf, rt.recvOut())
+		return
+	}
+	rt.comm.AllreduceF64sInto(rt.group, buf, op)
+	// Send-out must ship a private copy: eager sends park the payload in the
+	// receiver's mailbox, and the caller is free to overwrite buf as soon as
+	// we return.
+	if rt.comm.Rank() == rt.sendOutRoot() && len(rt.removed) > 0 {
+		rt.sendOut(append([]float64(nil), buf...))
+	}
+}
+
 // AllreduceSum reduces one value by summation (send-out aware).
 func (rt *Runtime) AllreduceSum(v float64) float64 {
-	return rt.AllreduceF64s([]float64{v}, mpi.Sum)[0]
+	if rt.isOut {
+		return rt.recvOut()[0]
+	}
+	out := rt.comm.AllreduceSum(rt.group, v)
+	if rt.comm.Rank() == rt.sendOutRoot() && len(rt.removed) > 0 {
+		rt.sendOut([]float64{out})
+	}
+	return out
 }
 
 // AllreduceMax reduces one value by maximum (send-out aware).
 func (rt *Runtime) AllreduceMax(v float64) float64 {
-	return rt.AllreduceF64s([]float64{v}, mpi.Max)[0]
+	if rt.isOut {
+		return rt.recvOut()[0]
+	}
+	out := rt.comm.AllreduceMax(rt.group, v)
+	if rt.comm.Rank() == rt.sendOutRoot() && len(rt.removed) > 0 {
+		rt.sendOut([]float64{out})
+	}
+	return out
 }
 
 // BcastF64s distributes a vector from the active relative-rank root to all

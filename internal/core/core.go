@@ -224,6 +224,13 @@ type Runtime struct {
 
 	events []Event
 
+	// Redistribution scratch, reused across applyDistribution calls so a
+	// steady stream of redistributions performs no per-call allocation for
+	// schedules or bookkeeping (see redist.go for the slab pool invariants).
+	schedBuf []drsd.Transfer
+	destBuf  []int
+	outsBuf  []redistOut
+
 	// Telemetry state (sink == nil disables everything).
 	sink      telemetry.Sink
 	stamper   *telemetry.Stamper

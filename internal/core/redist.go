@@ -2,11 +2,83 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/drsd"
 	"repro/internal/matrix"
 	"repro/internal/telemetry"
 )
+
+// Redistribution payloads travel as contiguous slabs — one allocation per
+// (array, transfer) instead of one per row — recycled through process-wide
+// pools.
+//
+// Pool invariants:
+//
+//   - Ownership travels with the message: the sender Gets a slab, packs it,
+//     and Sends it; from that point the slab belongs to the receiver, which
+//     Puts it back after unpacking. The sender never touches a slab after
+//     Send, and nothing else may retain a reference into a slab's backing
+//     storage (matrix.Dense.PutRows / Sparse.UnpackRows copy out of the
+//     slab precisely so the window never aliases pooled memory).
+//   - Slabs are resized with cap-preserving reslices, so steady-state
+//     redistribution reaches a fixed point where Get returns buffers big
+//     enough to need no growth: zero heap allocation per redistribution.
+//   - All packing/unpacking is host-side batching only. The virtual costs
+//     (ChargeTouch amounts and order, AdjustResident deltas, message bytes)
+//     replicate the per-row formulation exactly, so golden traces are
+//     byte-identical to the unbatched implementation.
+var (
+	denseSlabPool  = sync.Pool{New: func() any { return new(denseSlab) }}
+	sparseSlabPool = sync.Pool{New: func() any { return new(sparseSlab) }}
+)
+
+// denseSlab is one dense transfer's rows, packed back to back.
+type denseSlab struct {
+	rows int
+	data []float64
+}
+
+// sparseSlab is one sparse transfer's rows in batched packed form.
+type sparseSlab struct {
+	p matrix.PackedRows
+}
+
+func getDenseSlab(rows, rowLen int) *denseSlab {
+	s := denseSlabPool.Get().(*denseSlab)
+	n := rows * rowLen
+	if cap(s.data) < n {
+		s.data = make([]float64, n)
+	} else {
+		s.data = s.data[:n]
+	}
+	s.rows = rows
+	return s
+}
+
+func putDenseSlab(s *denseSlab) {
+	s.rows = 0
+	denseSlabPool.Put(s)
+}
+
+func getSparseSlab() *sparseSlab {
+	s := sparseSlabPool.Get().(*sparseSlab)
+	s.p.Reset()
+	return s
+}
+
+func putSparseSlab(s *sparseSlab) {
+	sparseSlabPool.Put(s)
+}
+
+// redistOut is one outgoing transfer staged during the extraction phase.
+type redistOut struct {
+	to    int
+	dense *denseSlab
+	spars *sparseSlab
+	rows  int
+	bytes int
+}
 
 // applyDistribution executes a redistribution to newDist (§4.4): for every
 // registered array each node (1) determines ownership from the DRSDs,
@@ -19,61 +91,72 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 	me := rt.comm.Rank()
 	var bytesMoved int64
 	var moves []telemetry.ArrayMove
+	if rt.sink != nil {
+		moves = make([]telemetry.ArrayMove, 0, len(rt.order))
+	}
+	olo, ohi := rt.dist.RangeOf(me)
 
 	for _, name := range rt.order {
 		a := rt.arrays[name]
-		sched := drsd.ScheduleWindows(rt.dist, newDist, a.accesses)
+		rt.schedBuf = drsd.ScheduleWindowsInto(rt.schedBuf[:0], rt.dist, newDist, a.accesses)
+		sched := rt.schedBuf
 		tag := tagRedist + a.index
 
 		// Phase 1: extract outgoing payloads before the window changes.
 		nlo, nhi := newDist.RangeOf(me)
 		wlo, whi := drsd.Window(a.accesses, nlo, nhi, rt.n)
-		type outMsg struct {
-			to    int
-			dense [][]float64
-			spars []matrix.PackedRow
-			lo    int
-			bytes int
+		// Destination multiplicity distinguishes a row's final destination
+		// (a move: the row's storage leaves with it) from earlier ones (a
+		// copy). Every transfer with From == me covers rows this rank owns
+		// under the old distribution, so a flat slice indexed by row offset
+		// into [olo,ohi) replaces the former map.
+		if n := ohi - olo; cap(rt.destBuf) < n {
+			rt.destBuf = make([]int, n)
+		} else {
+			rt.destBuf = rt.destBuf[:n]
 		}
-		var outs []outMsg
-		// Destination multiplicity lets a row that leaves this node be
-		// moved (zero copy) to its final single destination.
-		destCount := map[int]int{}
+		destCount := rt.destBuf
+		clear(destCount)
 		for _, tr := range sched {
 			if tr.From != me {
 				continue
 			}
 			for g := tr.Lo; g < tr.Hi; g++ {
-				destCount[g]++
+				destCount[g-olo]++
 			}
 		}
+		outs := rt.outsBuf[:0]
 		for _, tr := range sched {
 			if tr.From != me {
 				continue
 			}
-			m := outMsg{to: tr.To, lo: tr.Lo}
-			for g := tr.Lo; g < tr.Hi; g++ {
-				if a.dense != nil {
+			m := redistOut{to: tr.To, rows: tr.Hi - tr.Lo}
+			if a.dense != nil {
+				slab := getDenseSlab(m.rows, a.dense.RowLen)
+				a.dense.CopyRowsTo(slab.data, tr.Lo, tr.Hi)
+				// Virtual cost per row, identical to the per-row path: a row
+				// that stays resident here or still has further destinations
+				// was copied out (one RowBytes touch); a leaving row's final
+				// destination was a move — free under Projection, a charged
+				// copy under Contiguous (TakeRow semantics).
+				for g := tr.Lo; g < tr.Hi; g++ {
 					keep := g >= wlo && g < whi
-					destCount[g]--
-					var row []float64
-					if keep || destCount[g] > 0 {
-						row = make([]float64, a.dense.RowLen)
-						copy(row, a.dense.Row(g))
+					destCount[g-olo]--
+					if keep || destCount[g-olo] > 0 || a.dense.Scheme() == matrix.Contiguous {
 						rt.node.ChargeTouch(a.dense.RowBytes())
-					} else {
-						row = a.dense.TakeRow(g)
 					}
-					m.dense = append(m.dense, row)
-					m.bytes += int(a.dense.RowBytes())
-				} else {
-					p := a.sparse.PackRow(g)
-					m.spars = append(m.spars, p)
-					m.bytes += p.WireBytes()
 				}
+				m.dense = slab
+				m.bytes = m.rows * int(a.dense.RowBytes())
+			} else {
+				slab := getSparseSlab()
+				a.sparse.PackRowsTo(&slab.p, tr.Lo, tr.Hi)
+				m.spars = slab
+				m.bytes = slab.p.WireBytes()
 			}
 			outs = append(outs, m)
 		}
+		rt.outsBuf = outs
 
 		// Phase 2: resize the resident window (reuses retained rows; the
 		// allocation scheme determines the cost).
@@ -83,17 +166,20 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 			a.sparse.SetWindow(wlo, whi)
 		}
 
-		// Phase 3: ship outgoing rows (eager sends never block) and then
-		// receive incoming rows in deterministic schedule order.
+		// Phase 3: ship outgoing slabs (eager sends never block; slab
+		// ownership transfers to the receiver) and then receive incoming
+		// slabs in deterministic schedule order.
 		mv := telemetry.ArrayMove{Name: name}
-		for _, m := range outs {
+		for i := range outs {
+			m := &outs[i]
 			if m.dense != nil {
 				rt.comm.Send(m.to, tag, m.dense, m.bytes)
-				mv.Rows += len(m.dense)
+				m.dense = nil
 			} else {
 				rt.comm.Send(m.to, tag, m.spars, m.bytes)
-				mv.Rows += len(m.spars)
+				m.spars = nil
 			}
+			mv.Rows += m.rows
 			mv.Bytes += int64(m.bytes)
 			bytesMoved += int64(m.bytes)
 		}
@@ -107,21 +193,19 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 			payload, st := rt.comm.Recv(tr.From, tag)
 			bytesMoved += int64(st.Bytes)
 			if a.dense != nil {
-				rows, ok := payload.([][]float64)
-				if !ok || len(rows) != tr.Hi-tr.Lo {
+				slab, ok := payload.(*denseSlab)
+				if !ok || slab.rows != tr.Hi-tr.Lo {
 					panic(fmt.Sprintf("core: bad dense redistribution payload for %q", name))
 				}
-				for i, row := range rows {
-					a.dense.PutRow(tr.Lo+i, row)
-				}
+				a.dense.PutRows(tr.Lo, slab.data)
+				putDenseSlab(slab)
 			} else {
-				rows, ok := payload.([]matrix.PackedRow)
-				if !ok || len(rows) != tr.Hi-tr.Lo {
+				slab, ok := payload.(*sparseSlab)
+				if !ok || slab.p.Rows() != tr.Hi-tr.Lo {
 					panic(fmt.Sprintf("core: bad sparse redistribution payload for %q", name))
 				}
-				for i, p := range rows {
-					a.sparse.UnpackRow(tr.Lo+i, p)
-				}
+				a.sparse.UnpackRows(tr.Lo, &slab.p)
+				putSparseSlab(slab)
 			}
 		}
 	}

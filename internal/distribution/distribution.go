@@ -140,38 +140,43 @@ func SuccessiveBalancingFractionsTrace(nodes []Node, totalComp, commCPU float64,
 	if !anyUnloaded {
 		return fr // nothing to pair against; relative power is the best guess
 	}
+	// The per-round capacities are round-invariant: the pair ratio depends
+	// only on the workload shape (total compute, group size, comm CPU), not
+	// on the evolving fractions, so the candidate assignment is computed
+	// once. The round loop below is kept solely for its observable protocol
+	// — per-round observe callbacks and convergence against the previous
+	// round's fractions — and terminates with the exact same round count and
+	// intermediate values as the original recompute-every-round formulation.
+	//
+	// The pair model is calibrated on a two-node split of the node's
+	// neighbourhood workload: the loaded node plus one unloaded peer share
+	// 2/p of the total compute.
+	ratio := math.Inf(1)
+	if commCPU > 0 {
+		ratio = totalComp * 2 / float64(p) / commCPU
+	}
+	var cache phiCache
+	next := make([]float64, p)
+	var capSum float64
+	for i, n := range nodes {
+		if n.Load == 0 {
+			next[i] = n.Power
+		} else {
+			phi := cache.get(model, n.Load, ratio)
+			if phi >= 0.5 {
+				phi = 0.499
+			}
+			// A pair fraction φ means capacity φ/(1−φ) relative to one
+			// unloaded node of the same power.
+			next[i] = n.Power * phi / (1 - phi)
+		}
+		capSum += next[i]
+	}
+	for i := range next {
+		next[i] /= capSum
+	}
 	const maxRounds = 32
 	for round := 0; round < maxRounds; round++ {
-		next := make([]float64, p)
-		// Loaded nodes: pair each against a same-power unloaded twin at the
-		// node's current comp/comm ratio. The pair fraction φ converts into
-		// a capacity multiplier g = φ/(1−φ) relative to an unloaded node.
-		var capSum float64
-		caps := make([]float64, p)
-		for i, n := range nodes {
-			if n.Load == 0 {
-				caps[i] = n.Power
-			} else {
-				// The pair model is calibrated on a two-node split of the
-				// node's neighbourhood workload: the loaded node plus one
-				// unloaded peer share 2/p of the total compute.
-				ratio := math.Inf(1)
-				if commCPU > 0 {
-					ratio = totalComp * 2 / float64(p) / commCPU
-				}
-				phi := model.Fraction(n.Load, ratio)
-				if phi >= 0.5 {
-					phi = 0.499
-				}
-				// A pair fraction φ means capacity φ/(1−φ) relative to one
-				// unloaded node of the same power.
-				caps[i] = n.Power * phi / (1 - phi)
-			}
-			capSum += caps[i]
-		}
-		for i := range next {
-			next[i] = caps[i] / capSum
-		}
 		if observe != nil {
 			observe(round, append([]float64(nil), next...))
 		}
@@ -188,6 +193,36 @@ func SuccessiveBalancingFractionsTrace(nodes []Node, totalComp, commCPU float64,
 		}
 	}
 	return fr
+}
+
+// phiCache memoises PairModel.Fraction per competing-process count within
+// one balancing evaluation: every loaded node sees the same comp/comm
+// ratio, so the model's answer depends only on k. Small k (the realistic
+// range) stays on the stack; larger counts fall back to a lazily allocated
+// map.
+type phiCache struct {
+	small [9]float64
+	set   [9]bool
+	big   map[int]float64
+}
+
+func (c *phiCache) get(model PairModel, k int, ratio float64) float64 {
+	if k >= 0 && k < len(c.small) {
+		if !c.set[k] {
+			c.small[k] = model.Fraction(k, ratio)
+			c.set[k] = true
+		}
+		return c.small[k]
+	}
+	if phi, ok := c.big[k]; ok {
+		return phi
+	}
+	phi := model.Fraction(k, ratio)
+	if c.big == nil {
+		c.big = make(map[int]float64)
+	}
+	c.big[k] = phi
+	return phi
 }
 
 // PartitionWeighted splits the iteration space into contiguous blocks whose

@@ -284,11 +284,25 @@ func Schedule(oldD, newD Distribution) []Transfer {
 // several nodes is sent to each. Transfers are coalesced into contiguous
 // ranges and ordered deterministically (by receiving rank, then row).
 func ScheduleWindows(oldD, newD *Block, accesses []Access) []Transfer {
+	return ScheduleWindowsInto(nil, oldD, newD, accesses)
+}
+
+// ScheduleWindowsInto is ScheduleWindows appending into buf, so steady-state
+// callers can recycle one transfer slice across redistributions (pass
+// buf[:0]). buf may be nil. The computation is range-based: the rows a rank
+// must fetch are its new window minus its old held window — at most two
+// contiguous gaps, one on each side of the held range — and each gap is
+// intersected against the old distribution's block segments directly instead
+// of walking rows one at a time. Each old rank owns exactly one contiguous
+// segment, so adjacent intersections always have distinct senders and the
+// output needs no row-level coalescing; it is identical, transfer for
+// transfer, to the per-row formulation.
+func ScheduleWindowsInto(buf []Transfer, oldD, newD *Block, accesses []Access) []Transfer {
 	if oldD.Rows() != newD.Rows() {
 		panic("drsd: schedule across different row counts")
 	}
 	n := oldD.Rows()
-	var out []Transfer
+	out := buf
 	for _, r := range newD.Ranks() {
 		nlo, nhi := newD.RangeOf(r)
 		wlo, whi := Window(accesses, nlo, nhi, n)
@@ -297,20 +311,26 @@ func ScheduleWindows(oldD, newD *Block, accesses []Access) []Transfer {
 		if olo < ohi {
 			hlo, hhi = Window(accesses, olo, ohi, n)
 		}
-		for g := wlo; g < whi; g++ {
-			if g >= hlo && g < hhi {
-				continue // already resident from the old window
-			}
-			from := oldD.Owner(g)
-			if from == r {
-				continue // I owned it, so I hold it even outside my window
-			}
-			if k := len(out) - 1; k >= 0 && out[k].From == from && out[k].To == r && out[k].Hi == g {
-				out[k].Hi = g + 1
-				continue
-			}
-			out = append(out, Transfer{From: from, To: r, Lo: g, Hi: g + 1})
+		// Needed = [wlo,whi) minus [hlo,hhi): the gap below the held window
+		// and the gap above it. When the held window is empty or disjoint,
+		// one gap degenerates and the other covers the whole new window.
+		out = appendGapTransfers(out, oldD, r, wlo, min(whi, hlo))
+		out = appendGapTransfers(out, oldD, r, max(wlo, hhi), whi)
+	}
+	return out
+}
+
+// appendGapTransfers emits one transfer per old-distribution block segment
+// overlapping [lo,hi), skipping segments already owned by the receiver r
+// (rows a rank owned are resident even outside its old window).
+func appendGapTransfers(out []Transfer, oldD *Block, r, lo, hi int) []Transfer {
+	for lo < hi {
+		i := sort.SearchInts(oldD.bounds, lo+1) - 1
+		segHi := min(oldD.bounds[i+1], hi)
+		if from := oldD.ranks[i]; from != r {
+			out = append(out, Transfer{From: from, To: r, Lo: lo, Hi: segHi})
 		}
+		lo = segHi
 	}
 	return out
 }

@@ -183,6 +183,105 @@ func TestScheduleWindowsCoverageProperty(t *testing.T) {
 	}
 }
 
+// scheduleWindowsRowByRow is the original per-row formulation, kept as the
+// reference oracle for the range-based ScheduleWindows.
+func scheduleWindowsRowByRow(oldD, newD *Block, accesses []Access) []Transfer {
+	n := oldD.Rows()
+	var out []Transfer
+	for _, r := range newD.Ranks() {
+		nlo, nhi := newD.RangeOf(r)
+		wlo, whi := Window(accesses, nlo, nhi, n)
+		olo, ohi := oldD.RangeOf(r)
+		hlo, hhi := 0, 0
+		if olo < ohi {
+			hlo, hhi = Window(accesses, olo, ohi, n)
+		}
+		for g := wlo; g < whi; g++ {
+			if g >= hlo && g < hhi {
+				continue
+			}
+			from := oldD.Owner(g)
+			if from == r {
+				continue
+			}
+			if k := len(out) - 1; k >= 0 && out[k].From == from && out[k].To == r && out[k].Hi == g {
+				out[k].Hi = g + 1
+				continue
+			}
+			out = append(out, Transfer{From: from, To: r, Lo: g, Hi: g + 1})
+		}
+	}
+	return out
+}
+
+// Property: the range-based schedule is transfer-for-transfer identical to
+// the per-row reference, including under empty blocks, rejoining ranks, and
+// wide ghost offsets.
+func TestScheduleWindowsMatchesRowByRowReference(t *testing.T) {
+	accessSets := [][]Access{
+		stencil,
+		ownedOnly,
+		{{Array: "A", Step: 1, Off: -3}, {Array: "A", Step: 1, Off: 0}, {Array: "A", Step: 1, Off: 5}},
+	}
+	f := func(oldCounts, newCounts [5]uint8, accPick uint8) bool {
+		ranks := []int{0, 1, 2, 3, 4}
+		acc := accessSets[int(accPick)%len(accessSets)]
+		tot := 0
+		oc := make([]int, 5)
+		for i := range oc {
+			oc[i] = int(oldCounts[i]) % 9 // empty old blocks allowed
+			tot += oc[i]
+		}
+		if tot == 0 {
+			oc[0], tot = 1, 1
+		}
+		nc := make([]int, 5)
+		rem := tot
+		for i := 0; i < 4; i++ {
+			nc[i] = int(newCounts[i]) % (rem + 1)
+			rem -= nc[i]
+		}
+		nc[4] = rem
+		old := NewBlock(ranks, oc)
+		nw := NewBlock(ranks, nc)
+		want := scheduleWindowsRowByRow(old, nw, acc)
+		got := ScheduleWindows(old, nw, acc)
+		if len(got) != len(want) {
+			t.Logf("old=%v new=%v acc=%d: got %v want %v", oc, nc, accPick, got, want)
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Logf("old=%v new=%v acc=%d: got %v want %v", oc, nc, accPick, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleWindowsIntoReusesBuffer(t *testing.T) {
+	old := NewBlock([]int{0, 1, 2}, []int{10, 10, 10})
+	nw := NewBlock([]int{0, 1, 2}, []int{15, 10, 5})
+	buf := ScheduleWindowsInto(nil, old, nw, stencil)
+	want := append([]Transfer(nil), buf...)
+	got := ScheduleWindowsInto(buf[:0], old, nw, stencil)
+	if &got[0] != &buf[0] {
+		t.Fatal("ScheduleWindowsInto did not reuse the provided buffer")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
 func TestScheduleWindowsMismatchedRowsPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

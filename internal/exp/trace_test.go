@@ -172,6 +172,50 @@ func TestDecisionMatchesInstalledDistribution(t *testing.T) {
 	}
 }
 
+// TestTraceJSONLGolden pins the full JSONL encoding of the canonical
+// loaded-4 trace byte-for-byte — every field of every record, not just the
+// adaptation skeleton. This is the performance work's equivalence oracle:
+// hot-path rewrites (slab-batched redistribution, indexed matching, pooled
+// collectives) must not move a single virtual-time stamp or byte count.
+// Regenerate with `go test ./internal/exp -run JSONLGolden -update` after an
+// intentional behaviour change.
+func TestTraceJSONLGolden(t *testing.T) {
+	r, err := RunTrace(DefaultTraceOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, r.Records); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.jsonl.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		got := buf.Bytes()
+		line, col := 1, 1
+		for i := 0; i < len(got) && i < len(want); i++ {
+			if got[i] != want[i] {
+				break
+			}
+			if got[i] == '\n' {
+				line, col = line+1, 1
+			} else {
+				col++
+			}
+		}
+		t.Errorf("trace JSONL drifted from golden (%d vs %d bytes, first difference near line %d col %d)",
+			len(got), len(want), line, col)
+	}
+}
+
 // TestTraceDeterministic asserts byte-identical JSONL across runs.
 func TestTraceDeterministic(t *testing.T) {
 	encode := func() []byte {

@@ -197,6 +197,46 @@ func (d *Dense) PutRow(g int, data []float64) {
 	}
 }
 
+// CopyRowsTo copies global rows [lo,hi) into the contiguous slab dst, which
+// must hold at least (hi-lo)*RowLen values. It performs no cost accounting:
+// bulk extraction is a host-side packing optimisation, and the caller
+// charges the virtual cost of each row according to its own move/copy
+// semantics (see core.applyDistribution).
+func (d *Dense) CopyRowsTo(dst []float64, lo, hi int) {
+	if lo < d.lo || hi > d.hi || lo > hi {
+		panic(fmt.Sprintf("matrix: %s CopyRowsTo [%d,%d) outside window [%d,%d)", d.Name, lo, hi, d.lo, d.hi))
+	}
+	if len(dst) < (hi-lo)*d.RowLen {
+		panic(fmt.Sprintf("matrix: %s CopyRowsTo slab %d < %d", d.Name, len(dst), (hi-lo)*d.RowLen))
+	}
+	for g := lo; g < hi; g++ {
+		copy(dst[(g-lo)*d.RowLen:], d.rows[g-d.lo])
+	}
+}
+
+// PutRows installs the contiguous slab data as global rows starting at lo
+// (receive side of a bulk transfer); len(data) must be a whole number of
+// rows. It is the bulk counterpart of PutRow with adoption replaced by a
+// copy into the window's existing storage, so the slab stays recyclable.
+// The virtual cost matches PutRow exactly: Projection charges nothing (the
+// per-row path adopted the incoming buffer), Contiguous charges one
+// RowBytes touch per row.
+func (d *Dense) PutRows(lo int, data []float64) {
+	if len(data)%d.RowLen != 0 {
+		panic(fmt.Sprintf("matrix: %s PutRows slab %d not a multiple of row length %d", d.Name, len(data), d.RowLen))
+	}
+	hi := lo + len(data)/d.RowLen
+	if lo < d.lo || hi > d.hi {
+		panic(fmt.Sprintf("matrix: %s PutRows [%d,%d) outside window [%d,%d)", d.Name, lo, hi, d.lo, d.hi))
+	}
+	for g := lo; g < hi; g++ {
+		copy(d.rows[g-d.lo], data[(g-lo)*d.RowLen:(g-lo+1)*d.RowLen])
+		if d.scheme == Contiguous && d.sink != nil {
+			d.sink.ChargeTouch(d.RowBytes())
+		}
+	}
+}
+
 // Fill sets every resident row from f(globalRow, col).
 func (d *Dense) Fill(f func(g, j int) float64) {
 	for g := d.lo; g < d.hi; g++ {

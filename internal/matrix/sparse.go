@@ -249,6 +249,76 @@ func (s *Sparse) UnpackRow(g int, p PackedRow) {
 	}
 }
 
+// PackedRows is a batch of consecutive sparse rows packed into three flat
+// vectors for one bulk transfer: row r (0-based within the batch) occupies
+// Cols/Vals[Starts[r]:Starts[r+1]]. It replaces a []PackedRow payload with a
+// single reusable allocation.
+type PackedRows struct {
+	Starts []int32 // len rows+1, prefix offsets into Cols/Vals
+	Cols   []int32
+	Vals   []float64
+}
+
+// Rows reports the number of packed rows.
+func (p *PackedRows) Rows() int { return len(p.Starts) - 1 }
+
+// WireBytes reports the modelled transport size: identical, byte for byte,
+// to the sum of the per-row PackedRow.WireBytes values.
+func (p *PackedRows) WireBytes() int { return 8*p.Rows() + elemWireBytes*len(p.Vals) }
+
+// Reset empties the batch for reuse, keeping the backing arrays.
+func (p *PackedRows) Reset() {
+	p.Starts, p.Cols, p.Vals = p.Starts[:0], p.Cols[:0], p.Vals[:0]
+}
+
+// PackRowsTo appends global rows [lo,hi) to the batch, charging exactly the
+// per-row PackRow cost (one elemWireBytes*n touch per row, in row order).
+func (s *Sparse) PackRowsTo(p *PackedRows, lo, hi int) {
+	if len(p.Starts) == 0 {
+		p.Starts = append(p.Starts, 0)
+	}
+	for g := lo; g < hi; g++ {
+		r := s.row(g)
+		for e := r.head; e != nil; e = e.next {
+			p.Cols = append(p.Cols, e.Col)
+			p.Vals = append(p.Vals, e.Val)
+		}
+		p.Starts = append(p.Starts, int32(len(p.Vals)))
+		if s.sink != nil {
+			s.sink.ChargeTouch(int64(elemWireBytes * r.n))
+		}
+	}
+}
+
+// UnpackRows replaces global rows [lo, lo+p.Rows()) with the batch contents,
+// rebuilding each linked list with exactly the per-row UnpackRow cost
+// (resident-size adjustment plus one conversion touch per row, in row
+// order).
+func (s *Sparse) UnpackRows(lo int, p *PackedRows) {
+	if len(p.Cols) != len(p.Vals) {
+		panic("matrix: ragged PackedRows")
+	}
+	for i := 0; i < p.Rows(); i++ {
+		r := s.row(lo + i)
+		start, end := int(p.Starts[i]), int(p.Starts[i+1])
+		if s.sink != nil {
+			s.sink.AdjustResident(int64(elemWireBytes * (end - start - r.n)))
+			s.sink.ChargeTouch(int64(elemWireBytes * (end - start)))
+		}
+		r.head, r.tail, r.n = nil, nil, 0
+		for j := start; j < end; j++ {
+			e := &Elem{Col: p.Cols[j], Val: p.Vals[j]}
+			if r.tail == nil {
+				r.head, r.tail = e, e
+			} else {
+				r.tail.next = e
+				r.tail = e
+			}
+			r.n++
+		}
+	}
+}
+
 // ClearRow empties global row g (used after its contents were packed and
 // shipped away, before the window shrinks).
 func (s *Sparse) ClearRow(g int) {

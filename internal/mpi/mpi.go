@@ -38,19 +38,119 @@ const AnyTag = -1
 // failed; Run converts it back into the original error.
 var errFailed = errors.New("mpi: world failed")
 
-// envelope is one in-flight message.
+// envelope is one in-flight message. Envelopes are stored by value inside
+// the per-(src,tag) queues, so the steady-state send path performs no heap
+// allocation.
 type envelope struct {
 	src, tag int
 	payload  any
 	bytes    int
 	avail    vclock.Time // when the data has fully arrived at the receiver
+	seq      uint64      // per-mailbox arrival number, for wildcard matching
 }
 
-// mailbox is one rank's incoming queue with condition-variable matching.
+// envQueue is a FIFO of envelopes for one (src,tag) key. It is a growable
+// slice with a head cursor: pops advance head, and the backing array is
+// reused once the queue drains, so sustained traffic settles into zero
+// allocations after the high-water mark is reached.
+type envQueue struct {
+	items []envelope
+	head  int
+}
+
+func (q *envQueue) empty() bool { return q.head == len(q.items) }
+
+func (q *envQueue) push(e envelope) {
+	if q.head == len(q.items) && q.head > 0 {
+		// Drained: rewind so the backing array is reused.
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.items = append(q.items, e)
+}
+
+func (q *envQueue) pop() envelope {
+	e := q.items[q.head]
+	q.items[q.head].payload = nil // release the reference for the GC
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return e
+}
+
+// front returns the oldest queued envelope without removing it.
+func (q *envQueue) front() *envelope { return &q.items[q.head] }
+
+// matchKey packs a (src,tag) pair into one map key. Tags are bounded by the
+// runtime's reserved tag space (< 2^21) and sources by the world size, so
+// the packed key is collision-free.
+func matchKey(src, tag int) uint64 {
+	return uint64(uint32(src))<<32 | uint64(uint32(tag))
+}
+
+// mailbox is one rank's incoming message store, indexed by (src,tag) so
+// matching is O(1) instead of a linear scan of one shared queue. Only the
+// owning rank's goroutine receives from a mailbox, so there is at most one
+// waiter; senders signal it only when an arriving message matches the
+// receiver's posted (src,tag) pattern, eliminating spurious wakeups when
+// many senders target one receiver with unrelated tags.
+//
+// Wildcard receives (AnySource/AnyTag) pick the matching envelope with the
+// lowest arrival number across all queues, preserving the arrival-order
+// semantics of the old single-queue implementation exactly.
 type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []*envelope
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[uint64]*envQueue
+	seq    uint64 // next arrival number
+	total  int    // envelopes currently queued across all keys
+
+	// The receiver's posted wait, valid while waiting is true.
+	waiting bool
+	wantSrc int
+	wantTag int
+}
+
+func matches(e *envelope, src, tag int) bool {
+	return (src == AnySource || e.src == src) && (tag == AnyTag || e.tag == tag)
+}
+
+// take removes and returns the oldest envelope matching (src,tag), or
+// ok=false when none is queued. Callers hold b.mu.
+func (b *mailbox) take(src, tag int) (envelope, bool) {
+	if b.total == 0 {
+		return envelope{}, false
+	}
+	if src != AnySource && tag != AnyTag {
+		q := b.queues[matchKey(src, tag)]
+		if q == nil || q.empty() {
+			return envelope{}, false
+		}
+		b.total--
+		return q.pop(), true
+	}
+	// Wildcard: earliest arrival across all matching queues.
+	var best *envQueue
+	var bestSeq uint64
+	for _, q := range b.queues {
+		if q.empty() {
+			continue
+		}
+		e := q.front()
+		if !matches(e, src, tag) {
+			continue
+		}
+		if best == nil || e.seq < bestSeq {
+			best, bestSeq = q, e.seq
+		}
+	}
+	if best == nil {
+		return envelope{}, false
+	}
+	b.total--
+	return best.pop(), true
 }
 
 // World owns the shared state of one simulated run: mailboxes, the default
@@ -75,7 +175,7 @@ func NewWorld(cl *cluster.Cluster) *World {
 	w := &World{cl: cl, n: cl.N()}
 	w.boxes = make([]*mailbox, w.n)
 	for i := range w.boxes {
-		b := &mailbox{}
+		b := &mailbox{queues: make(map[uint64]*envQueue)}
 		b.cond = sync.NewCond(&b.mu)
 		w.boxes[i] = b
 	}
@@ -94,7 +194,10 @@ func (w *World) N() int { return w.n }
 func (w *World) Cluster() *cluster.Cluster { return w.cl }
 
 // fail records the first error and wakes every blocked rank so the whole
-// world unwinds instead of deadlocking.
+// world unwinds instead of deadlocking. Mailbox waiters are woken with
+// Broadcast — not the targeted Signal of the send path — because a failing
+// world must reach a receiver regardless of the (src,tag) pattern it posted;
+// the receive loop rechecks w.failed on every wakeup before waiting again.
 func (w *World) fail(err error) {
 	w.errMu.Lock()
 	if w.err == nil {
@@ -104,6 +207,7 @@ func (w *World) fail(err error) {
 	w.failed.Store(true)
 	for _, b := range w.boxes {
 		b.mu.Lock()
+		b.waiting = false // the posted pattern is void; everyone unwinds
 		b.cond.Broadcast()
 		b.mu.Unlock()
 	}
@@ -133,11 +237,22 @@ type Comm struct {
 	// Traffic counters, maintained by this rank only.
 	SentMsgs, SentBytes int64
 	RecvMsgs, RecvBytes int64
+
+	// sbuf is a pinned scratch vector for the scalar collectives
+	// (AllreduceSum/Max); sbox is the same slice pre-boxed as an interface
+	// so depositing it into a collective performs no per-op allocation.
+	// Safe because every Comm method runs on the rank's own goroutine and
+	// each collective copies its result out before returning.
+	sbuf []float64
+	sbox any
 }
 
 // NewComm returns rank r's endpoint. Typically Run constructs these.
 func (w *World) NewComm(r int) *Comm {
-	return &Comm{w: w, rank: r, node: w.cl.Node(r)}
+	c := &Comm{w: w, rank: r, node: w.cl.Node(r)}
+	c.sbuf = make([]float64, 1)
+	c.sbox = c.sbuf
+	return c
 }
 
 // Rank reports this endpoint's world rank.
@@ -181,7 +296,7 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 	}
 	net := c.w.cl.Net()
 	c.node.Compute(cpuCost(net, bytes))
-	env := &envelope{
+	env := envelope{
 		src:     c.rank,
 		tag:     tag,
 		payload: payload,
@@ -192,8 +307,22 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 	c.SentBytes += int64(bytes)
 	box := c.w.boxes[dst]
 	box.mu.Lock()
-	box.queue = append(box.queue, env)
-	box.cond.Broadcast()
+	env.seq = box.seq
+	box.seq++
+	key := matchKey(c.rank, tag)
+	q := box.queues[key]
+	if q == nil {
+		q = &envQueue{}
+		box.queues[key] = q
+	}
+	q.push(env)
+	box.total++
+	// Targeted wakeup: only disturb the receiver when this message can
+	// complete its posted receive.
+	if box.waiting && matches(&env, box.wantSrc, box.wantTag) {
+		box.waiting = false
+		box.cond.Signal()
+	}
 	box.mu.Unlock()
 }
 
@@ -213,26 +342,21 @@ func (c *Comm) Recv(src, tag int) (any, Status) {
 	c.checkFailed()
 	box := c.w.boxes[c.rank]
 	box.mu.Lock()
-	var env *envelope
+	var env envelope
 	for {
-		idx := -1
-		for i, e := range box.queue {
-			if (src == AnySource || e.src == src) && (tag == AnyTag || e.tag == tag) {
-				idx = i
-				break
-			}
-		}
-		if idx >= 0 {
-			env = box.queue[idx]
-			box.queue = append(box.queue[:idx], box.queue[idx+1:]...)
+		var ok bool
+		if env, ok = box.take(src, tag); ok {
 			break
 		}
 		if c.w.failed.Load() {
 			box.mu.Unlock()
 			panic(errFailed)
 		}
+		box.wantSrc, box.wantTag = src, tag
+		box.waiting = true
 		box.cond.Wait()
 	}
+	box.waiting = false
 	box.mu.Unlock()
 	c.node.WaitUntil(env.avail)
 	c.node.Compute(cpuCost(c.w.cl.Net(), env.bytes))
@@ -308,6 +432,17 @@ type Group struct {
 	seq        []int64 // per-slot local op counter (written only by owner)
 	collecting map[int64]*pending
 	results    map[int64]*opResult
+
+	// Free lists for the per-op bookkeeping structs, so a steady stream of
+	// collectives recycles its pending/result objects instead of allocating
+	// fresh ones each op. Guarded by mu.
+	freePending []*pending
+	freeResults []*opResult
+
+	// f64Pool recycles the result vectors of the float64 reductions driven
+	// through the *Into entry points (whose callers copy the result out
+	// under the group lock and never retain the shared slice).
+	f64Pool sync.Pool
 }
 
 type pending struct {
@@ -321,6 +456,51 @@ type opResult struct {
 	finish    vclock.Time
 	cpuEach   vclock.Duration
 	remaining int
+	pooled    bool // value came from f64Pool; recycle when the op drains
+}
+
+// getPending returns a recycled (or new) pending op sized for the group.
+// Callers hold g.mu.
+func (g *Group) getPending() *pending {
+	if n := len(g.freePending); n > 0 {
+		p := g.freePending[n-1]
+		g.freePending = g.freePending[:n-1]
+		p.arrived = 0
+		return p
+	}
+	return &pending{
+		times:    make([]vclock.Time, len(g.members)),
+		contribs: make([]any, len(g.members)),
+	}
+}
+
+// putPending recycles a drained pending op. Callers hold g.mu.
+func (g *Group) putPending(p *pending) {
+	for i := range p.contribs {
+		p.contribs[i] = nil // release references for the GC
+	}
+	g.freePending = append(g.freePending, p)
+}
+
+// getResult returns a recycled (or new) opResult. Callers hold g.mu.
+func (g *Group) getResult() *opResult {
+	if n := len(g.freeResults); n > 0 {
+		r := g.freeResults[n-1]
+		g.freeResults = g.freeResults[:n-1]
+		*r = opResult{}
+		return r
+	}
+	return &opResult{}
+}
+
+// getF64 returns a pooled []float64 of length n for an Into reduction.
+func (g *Group) getF64(n int) []float64 {
+	if v, ok := g.f64Pool.Get().(*[]float64); ok {
+		if cap(*v) >= n {
+			return (*v)[:n]
+		}
+	}
+	return make([]float64, n)
 }
 
 // NewGroup returns the collective group over the given world ranks. Groups
@@ -399,6 +579,15 @@ type reduceFn func(times []vclock.Time, contribs []any) (any, vclock.Time, vcloc
 // contribution; the last to arrive runs reduce; everyone leaves with the
 // result, their clock advanced to the completion time plus the CPU charge.
 func (c *Comm) rendezvous(g *Group, contrib any, reduce reduceFn) any {
+	return c.rendezvousInto(g, contrib, reduce, nil, false)
+}
+
+// rendezvousInto is rendezvous with optional copy-out semantics: when dst is
+// non-nil the []float64 result is copied into dst *under the group lock*
+// (before the op is released), so pooled result vectors can be recycled the
+// moment the last member leaves without racing a slow reader. pooled marks
+// the reduction's result vector as owned by g.f64Pool.
+func (c *Comm) rendezvousInto(g *Group, contrib any, reduce reduceFn, dst []float64, pooled bool) any {
 	c.checkFailed()
 	slot, ok := g.slot[c.rank]
 	if !ok {
@@ -410,10 +599,7 @@ func (c *Comm) rendezvous(g *Group, contrib any, reduce reduceFn) any {
 	g.mu.Lock()
 	p := g.collecting[seq]
 	if p == nil {
-		p = &pending{
-			times:    make([]vclock.Time, len(g.members)),
-			contribs: make([]any, len(g.members)),
-		}
+		p = g.getPending()
 		g.collecting[seq] = p
 	}
 	p.times[slot] = c.node.Now()
@@ -432,7 +618,10 @@ func (c *Comm) rendezvous(g *Group, contrib any, reduce reduceFn) any {
 			panic(errFailed)
 		}
 		g.mu.Lock()
-		g.results[seq] = &opResult{value: value, finish: finish, cpuEach: cpu, remaining: len(g.members)}
+		g.putPending(p)
+		r := g.getResult()
+		r.value, r.finish, r.cpuEach, r.remaining, r.pooled = value, finish, cpu, len(g.members), pooled
+		g.results[seq] = r
 		g.cond.Broadcast()
 	} else {
 		for g.results[seq] == nil {
@@ -444,17 +633,28 @@ func (c *Comm) rendezvous(g *Group, contrib any, reduce reduceFn) any {
 		}
 	}
 	r := g.results[seq]
+	value, finish, cpuEach := r.value, r.finish, r.cpuEach
+	if dst != nil {
+		copy(dst, value.([]float64))
+		value = nil // the caller reads dst; never leak the shared slice
+	}
 	r.remaining--
 	if r.remaining == 0 {
 		delete(g.results, seq)
+		if r.pooled {
+			v := r.value.([]float64)
+			g.f64Pool.Put(&v)
+		}
+		r.value = nil
+		g.freeResults = append(g.freeResults, r)
 	}
 	g.mu.Unlock()
 
-	c.node.WaitUntil(r.finish)
-	if r.cpuEach > 0 {
-		c.node.Compute(r.cpuEach)
+	c.node.WaitUntil(finish)
+	if cpuEach > 0 {
+		c.node.Compute(cpuEach)
 	}
-	return r.value
+	return value
 }
 
 // safeReduce runs a reduction, converting panics into errors.
@@ -509,14 +709,79 @@ func (c *Comm) Bcast(g *Group, root int, payload any, bytes int) any {
 	})
 }
 
+// BcastF64sInto distributes the root's buf contents into every member's buf
+// (all members pass same-length buffers; the root's is the source). The
+// shared intermediate is pooled and each member copies out under the group
+// lock, so the root may overwrite its buffer as soon as the call returns and
+// steady-state broadcasts allocate nothing. Wire size and virtual cost are
+// identical to Bcast with an F64Bytes payload.
+func (c *Comm) BcastF64sInto(g *Group, root int, buf []float64) {
+	net := c.w.cl.Net()
+	steps := g.steps()
+	rootSlot, ok := g.slot[root]
+	if !ok {
+		panic(fmt.Sprintf("mpi: bcast root %d not in group", root))
+	}
+	bytes := F64Bytes(len(buf))
+	var contrib any
+	if c.rank == root {
+		contrib = buf
+	}
+	c.rendezvousInto(g, contrib, func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
+		src := contribs[rootSlot].([]float64)
+		// Copy into a pooled vector: the root's own buffer is only stable
+		// until the root leaves the collective, but members may copy out
+		// later.
+		out := g.getF64(len(src))
+		copy(out, src)
+		per := wireTime(net, bytes)
+		finish := maxTime(ts).Add(vclock.Duration(steps) * per)
+		return out, finish, vclock.Duration(steps) * cpuCost(net, bytes)
+	}, buf, true)
+}
+
 // AllreduceF64s performs an element-wise reduction of each member's vector
 // with op and returns the reduced vector (a fresh slice) on every member.
+// The result is shared by all members and safe to retain. Hot paths that
+// call a reduction every cycle should prefer AllreduceF64sInto, which
+// recycles the shared intermediate and writes into a caller-owned buffer.
 func (c *Comm) AllreduceF64s(g *Group, vals []float64, op func(a, b float64) float64) []float64 {
+	res := c.allreduceF64s(g, vals, op, nil)
+	return res.([]float64)
+}
+
+// AllreduceF64sInto reduces buf element-wise across the group and stores the
+// result back into buf (which is both this rank's contribution and its
+// destination). The shared intermediate vector is pooled inside the group,
+// so steady-state reductions allocate only the reduction closure. buf must
+// not be mutated by the caller until the call returns; afterwards the caller
+// owns it fully — nothing retains a reference.
+func (c *Comm) AllreduceF64sInto(g *Group, buf []float64, op func(a, b float64) float64) {
+	c.allreduceF64sBoxed(g, buf, buf, op, buf)
+}
+
+func (c *Comm) allreduceF64s(g *Group, vals []float64, op func(a, b float64) float64, dst []float64) any {
+	return c.allreduceF64sBoxed(g, vals, vals, op, dst)
+}
+
+// allreduceF64sBoxed is the common reduction core. contrib must box the same
+// slice as vals (callers with a pre-boxed scratch pass it to avoid the
+// per-op interface allocation). When dst is non-nil the result is copied
+// into dst under the group lock and the shared vector is recycled.
+func (c *Comm) allreduceF64sBoxed(g *Group, vals []float64, contrib any, op func(a, b float64) float64, dst []float64) any {
 	net := c.w.cl.Net()
 	steps := g.steps()
 	bytes := F64Bytes(len(vals))
-	res := c.rendezvous(g, vals, func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
-		out := append([]float64(nil), contribs[0].([]float64)...)
+	pooled := dst != nil
+	return c.rendezvousInto(g, contrib, func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
+		first := contribs[0].([]float64)
+		var out []float64
+		if pooled {
+			out = g.getF64(len(first))
+			copy(out, first)
+		} else {
+			out = append([]float64(nil), first...)
+		}
 		for _, cb := range contribs[1:] {
 			v := cb.([]float64)
 			if len(v) != len(out) {
@@ -529,8 +794,7 @@ func (c *Comm) AllreduceF64s(g *Group, vals []float64, op func(a, b float64) flo
 		per := wireTime(net, bytes)
 		finish := maxTime(ts).Add(vclock.Duration(steps) * per)
 		return out, finish, vclock.Duration(steps) * cpuCost(net, bytes)
-	})
-	return res.([]float64)
+	}, dst, pooled)
 }
 
 // Sum and Max are common allreduce operators.
@@ -546,12 +810,16 @@ func Max(a, b float64) float64 {
 
 // AllreduceSum reduces a single value by summation.
 func (c *Comm) AllreduceSum(g *Group, v float64) float64 {
-	return c.AllreduceF64s(g, []float64{v}, Sum)[0]
+	c.sbuf[0] = v
+	c.allreduceF64sBoxed(g, c.sbuf, c.sbox, Sum, c.sbuf)
+	return c.sbuf[0]
 }
 
 // AllreduceMax reduces a single value by maximum.
 func (c *Comm) AllreduceMax(g *Group, v float64) float64 {
-	return c.AllreduceF64s(g, []float64{v}, Max)[0]
+	c.sbuf[0] = v
+	c.allreduceF64sBoxed(g, c.sbuf, c.sbox, Max, c.sbuf)
+	return c.sbuf[0]
 }
 
 // Allgather collects every member's contribution, ordered by group slot,

@@ -359,6 +359,107 @@ func TestSendInvalidRankPanics(t *testing.T) {
 	}
 }
 
+func TestAllreduceF64sInto(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		g := c.World().AllGroup()
+		buf := []float64{float64(c.Rank()), float64(c.Rank() * 10)}
+		c.AllreduceF64sInto(g, buf, Sum)
+		if buf[0] != 6 || buf[1] != 60 {
+			return fmt.Errorf("rank %d: buf = %v", c.Rank(), buf)
+		}
+		// The buffer is caller-owned again: mutate it and reduce once more to
+		// prove no shared state leaks between ops.
+		buf[0], buf[1] = 1, 2
+		c.AllreduceF64sInto(g, buf, Sum)
+		if buf[0] != 4 || buf[1] != 8 {
+			return fmt.Errorf("rank %d: second reduce = %v", c.Rank(), buf)
+		}
+		return nil
+	})
+}
+
+func TestAllreduceIntoMatchesAllocating(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		g := c.World().AllGroup()
+		vals := []float64{float64(c.Rank()) * 1.5, 7 - float64(c.Rank())}
+		want := c.AllreduceF64s(g, vals, Max)
+		buf := append([]float64(nil), vals...)
+		c.AllreduceF64sInto(g, buf, Max)
+		if buf[0] != want[0] || buf[1] != want[1] {
+			return fmt.Errorf("into %v, allocating %v", buf, want)
+		}
+		return nil
+	})
+}
+
+func TestAllreduceIntoLengthMismatchAborts(t *testing.T) {
+	err := Run(cluster.New(cluster.Uniform(2)), func(c *Comm) error {
+		g := c.World().AllGroup()
+		buf := make([]float64, 1+c.Rank()) // lengths differ across ranks
+		c.AllreduceF64sInto(g, buf, Sum)
+		return nil
+	})
+	if err == nil || !contains(err.Error(), "length mismatch") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBcastF64sInto(t *testing.T) {
+	run(t, 4, func(c *Comm) error {
+		g := c.World().AllGroup()
+		buf := make([]float64, 3)
+		if c.Rank() == 2 {
+			buf[0], buf[1], buf[2] = 5, 6, 7
+		}
+		c.BcastF64sInto(g, 2, buf)
+		if buf[0] != 5 || buf[1] != 6 || buf[2] != 7 {
+			return fmt.Errorf("rank %d: buf = %v", c.Rank(), buf)
+		}
+		// Root overwrites its buffer immediately; a second broadcast must
+		// still deliver the new values intact everywhere.
+		if c.Rank() == 2 {
+			buf[0], buf[1], buf[2] = 8, 9, 10
+		}
+		c.BcastF64sInto(g, 2, buf)
+		if buf[0] != 8 || buf[1] != 9 || buf[2] != 10 {
+			return fmt.Errorf("rank %d: second bcast = %v", c.Rank(), buf)
+		}
+		return nil
+	})
+}
+
+// TestFailWakesBlockedReceivers pins the world-failure wakeup path of the
+// indexed mailbox: ranks blocked in Recv — with a posted exact pattern and
+// with wildcards — and ranks parked inside a collective must all unwind when
+// another rank aborts. Run under -race this also exercises fail()'s
+// interaction with concurrent sends.
+func TestFailWakesBlockedReceivers(t *testing.T) {
+	boom := errors.New("deliberate failure")
+	err := Run(cluster.New(cluster.Uniform(5)), func(c *Comm) error {
+		switch c.Rank() {
+		case 0:
+			// Give the others time to block, then fail the world.
+			for i := 0; i < 100; i++ {
+				c.Send(0, 99, nil, 0) // self-traffic to churn the mailbox
+				c.Recv(0, 99)
+			}
+			c.Abort(boom)
+		case 1:
+			c.Recv(3, 42) // never sent: blocks with an exact posted pattern
+		case 2:
+			c.Recv(AnySource, AnyTag) // blocks with a wildcard pattern
+		case 3, 4:
+			// Blocks in a collective: rank 0 never joins this group's op.
+			g := c.World().NewGroup([]int{0, 3, 4})
+			c.Barrier(g)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) && (err == nil || !contains(err.Error(), "deliberate failure")) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
 func TestBigTrafficVolume(t *testing.T) {
 	// Stress the mailbox with many interleaved tags from two senders.
 	run(t, 3, func(c *Comm) error {
