@@ -19,6 +19,7 @@ import (
 	"repro/internal/distribution"
 	"repro/internal/drsd"
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/matrix"
 	"repro/internal/mpi"
 	"repro/internal/telemetry"
@@ -229,6 +230,39 @@ func BenchmarkMPISendRecv(b *testing.B) {
 				c.Send(1, 0, boxed, bytes)
 			}
 		} else {
+			for i := 0; i < b.N; i++ {
+				c.Recv(0, 0)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMPISendRecvFaults measures the liveness-check overhead the
+// failure machinery adds to the hot path: a fault set is armed (a far-future
+// timed crash plus message rules on an unrelated link) so every send and
+// receive runs the fault polls, but none ever fires. Must stay 0 allocs/op
+// and within the benchgate window of BenchmarkMPISendRecv.
+func BenchmarkMPISendRecvFaults(b *testing.B) {
+	b.ReportAllocs()
+	payload := make([]float64, 1024)
+	var boxed any = payload
+	bytes := mpi.F64Bytes(len(payload))
+	spec := cluster.Uniform(3)
+	spec.Faults = []fault.Fault{
+		fault.CrashAt(0, vclock.Time(vclock.FromSeconds(1e6))),
+		fault.DropMsgs(0, 2, 1<<30, 1),
+	}
+	err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+		switch c.Rank() {
+		case 0:
+			for i := 0; i < b.N; i++ {
+				c.Send(1, 0, boxed, bytes)
+			}
+		case 1:
 			for i := 0; i < b.N; i++ {
 				c.Recv(0, 0)
 			}

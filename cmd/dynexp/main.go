@@ -18,8 +18,22 @@
 //
 // The trace subcommand attaches a telemetry sink to the runtime: -trace
 // out.jsonl writes the structured record stream (iteration, decision,
-// redist, membership) as JSON lines in deterministic order, and -summary
-// prints an aggregation table. With neither flag, the summary is printed.
+// redist, membership, failure) as JSON lines in deterministic order, and
+// -summary prints an aggregation table. With neither flag, the summary is
+// printed.
+//
+// The -fault flag injects deterministic failures into the trace run, as a
+// ';'-separated list of specs (see internal/fault.ParseSpecs):
+//
+//	-fault 'crash:node=2,cycle=12'             crash rank 2 entering cycle 12
+//	-fault 'crash:node=1,t=0.5'                crash rank 1 at 0.5s virtual time
+//	-fault 'stall:node=0,cycle=3,dur=200ms'    stall rank 0 for 200ms
+//	-fault 'drop:node=0,to=1,after=10'         drop (retransmit) one 0→1 message
+//	-fault 'delay:node=0,to=1,after=4,count=3,dur=5ms'
+//
+// -replicate enables dense-array buddy replication so a crashed rank's rows
+// are reconstructed instead of lost; -replica-every refreshes the replicas
+// every N cycles.
 package main
 
 import (
@@ -32,11 +46,12 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] [-cpuprofile f] [-memprofile f] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|all}\n")
+	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] [-fault specs] [-replicate] [-replica-every n] [-cpuprofile f] [-memprofile f] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|all}\n")
 	os.Exit(2)
 }
 
@@ -45,6 +60,9 @@ func main() {
 	nodesFlag := flag.String("nodes", "", "comma-separated node counts (fig4/fig6 only)")
 	traceFile := flag.String("trace", "", "write the telemetry record stream as JSONL to this file (trace subcommand)")
 	summary := flag.Bool("summary", false, "print a telemetry aggregation table (trace subcommand)")
+	faultSpecs := flag.String("fault", "", "';'-separated fault specs to inject, e.g. 'crash:node=2,cycle=12' (trace subcommand)")
+	replicate := flag.Bool("replicate", false, "enable dense-array buddy replication for crash recovery (trace subcommand)")
+	replicaEvery := flag.Int("replica-every", 0, "refresh buddy replicas every n cycles (0 = only at redistributions)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiment(s) to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	flag.Usage = usage
@@ -175,7 +193,17 @@ func main() {
 			}
 			r.Table().Render(os.Stdout)
 		case "trace":
-			r, err := exp.RunTrace(exp.DefaultTraceOptions())
+			o := exp.DefaultTraceOptions()
+			if *faultSpecs != "" {
+				fs, err := fault.ParseSpecs(*faultSpecs)
+				if err != nil {
+					return err
+				}
+				o.Faults = fs
+			}
+			o.Replicate = *replicate
+			o.ReplicaEvery = *replicaEvery
+			r, err := exp.RunTrace(o)
 			if err != nil {
 				return err
 			}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/drsd"
+	"repro/internal/fault"
 	"repro/internal/matrix"
 	"repro/internal/mpi"
 	"repro/internal/telemetry"
@@ -147,6 +148,44 @@ func CompetingProcessAtCycle(node, cycle int) LoadEvent { return cluster.CycleEv
 
 // CompetingProcessStop schedules the removal of one competing process.
 func CompetingProcessStop(node int, at Time) LoadEvent { return cluster.TimeEvent(node, at, -1) }
+
+// Fault is one injected failure (crash, stall, message drop or delay); see
+// internal/fault for trigger semantics. Faults are deterministic in virtual
+// time: repeated runs of the same scenario replay identically.
+type Fault = fault.Fault
+
+// CrashAtCycle schedules node to crash at the start of the given phase
+// cycle. Survivors detect the death, drop the member and re-partition; with
+// Config.Replicate the dead rank's dense rows are reconstructed from the
+// buddy replica.
+func CrashAtCycle(node, cycle int) Fault { return fault.CrashAtCycle(node, cycle) }
+
+// CrashAt schedules node to crash at its first communication operation at
+// or after virtual time t.
+func CrashAt(node int, t Time) Fault { return fault.CrashAt(node, t) }
+
+// StallAtCycle freezes node for dur of virtual time at the start of cycle.
+func StallAtCycle(node, cycle int, dur Duration) Fault { return fault.StallAtCycle(node, cycle, dur) }
+
+// DropMessages drops count messages on the node->to link starting with the
+// after-th (0-based); each is redelivered one retransmission delay later.
+func DropMessages(node, to, after, count int) Fault { return fault.DropMsgs(node, to, after, count) }
+
+// DelayMessages adds dur to the delivery of count messages on the node->to
+// link starting with the after-th (0-based).
+func DelayMessages(node, to, after, count int, dur Duration) Fault {
+	return fault.DelayMsgs(node, to, after, count, dur)
+}
+
+// ParseFaults parses the dynexp -fault spec syntax (semicolon-separated
+// "kind:key=value,..." entries, e.g. "crash:node=2,cycle=12").
+func ParseFaults(s string) ([]Fault, error) { return fault.ParseSpecs(s) }
+
+// WithFaults returns spec with the given faults added to the scenario.
+func WithFaults(spec ClusterSpec, faults ...Fault) ClusterSpec {
+	spec.Faults = append(append([]Fault(nil), spec.Faults...), faults...)
+	return spec
+}
 
 // Launch runs fn as an SPMD program: one goroutine per cluster node, each
 // receiving its own Runtime built from cfg. It returns the first error any

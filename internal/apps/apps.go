@@ -22,6 +22,7 @@ import (
 type RankStats struct {
 	Rank      int
 	Removed   bool
+	Crashed   bool // rank died to an injected fault and never reported
 	Redists   int
 	Finish    vclock.Time
 	Events    []core.Event
@@ -84,7 +85,14 @@ func (c *Collector) Result(n int) Result {
 	var r Result
 	r.Stats = make([]RankStats, n)
 	for i := 0; i < n; i++ {
-		st := c.stats[i]
+		st, reported := c.stats[i]
+		if !reported {
+			// The rank died to an injected crash before reaching Report. A
+			// zero-value entry would masquerade as a participant and wipe
+			// the checksum with its zero.
+			r.Stats[i] = RankStats{Rank: i, Crashed: true}
+			continue
+		}
 		r.Stats[i] = st
 		if st.Finish > 0 {
 			if s := st.Finish.Seconds(); s > r.Elapsed {
@@ -159,12 +167,17 @@ func HaloExchange(rt *core.Runtime, tag int, n int, rowOf func(g int) []float64,
 		row := snap(hi - 1)
 		comm.Send(down, tag, row, mpi.F64Bytes(len(row)))
 	}
+	// A dead neighbour cannot ship its boundary row; keep the stale ghost
+	// (the runtime's recovery pass re-partitions at the next cycle
+	// boundary, after which neighbours are live again).
 	if up >= 0 {
-		row, _ := comm.Recv(up, tag)
-		store(lo-1, row.([]float64))
+		if row, _, err := comm.RecvErr(up, tag); err == nil {
+			store(lo-1, row.([]float64))
+		}
 	}
 	if down >= 0 {
-		row, _ := comm.Recv(down, tag)
-		store(hi, row.([]float64))
+		if row, _, err := comm.RecvErr(down, tag); err == nil {
+			store(hi, row.([]float64))
+		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 	"repro/internal/vclock"
 )
@@ -89,6 +90,7 @@ type Event struct {
 type Spec struct {
 	Nodes   []NodeSpec
 	Events  []Event
+	Faults  []fault.Fault // injected faults (crash/stall/drop/delay); empty = none
 	Net     NetParams
 	Quantum vclock.Duration // scheduler timeslice; 0 means 10ms
 	Seed    uint64          // master seed for all derived PRNGs
@@ -137,6 +139,7 @@ type Cluster struct {
 	spec    Spec
 	quantum vclock.Duration
 	nodes   []*Node
+	faults  *fault.Set // nil when the scenario injects no faults
 }
 
 // New builds a cluster and its node handles from spec.
@@ -152,6 +155,11 @@ func New(spec Spec) *Cluster {
 		spec.Net = DefaultNet()
 	}
 	c := &Cluster{spec: spec, quantum: q}
+	fs, err := fault.NewSet(len(spec.Nodes), spec.Faults)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: %v", err))
+	}
+	c.faults = fs
 	master := vclock.NewPRNG(spec.Seed)
 	c.nodes = make([]*Node, len(spec.Nodes))
 	for i, ns := range spec.Nodes {
@@ -198,6 +206,10 @@ func (c *Cluster) Net() NetParams { return c.spec.Net }
 // Quantum returns the scheduler timeslice.
 func (c *Cluster) Quantum() vclock.Duration { return c.quantum }
 
+// FaultSet returns the scenario's validated fault set, or nil when the
+// scenario injects no faults.
+func (c *Cluster) FaultSet() *fault.Set { return c.faults }
+
 // Powers returns the static relative powers of all nodes.
 func (c *Cluster) Powers() []float64 {
 	out := make([]float64, len(c.nodes))
@@ -238,6 +250,11 @@ func (n *Node) AttachTelemetry(sink telemetry.Sink, stamper *telemetry.Stamper) 
 	n.sink = sink
 	n.stamper = stamper
 }
+
+// Telemetry returns the sink and stamper attached to this node (both nil
+// when telemetry is off). The fault layer uses it to emit FailureRecords
+// from the faulting rank's own goroutine.
+func (n *Node) Telemetry() (telemetry.Sink, *telemetry.Stamper) { return n.sink, n.stamper }
 
 // ID reports the node's index in the cluster.
 func (n *Node) ID() int { return n.id }

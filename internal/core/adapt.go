@@ -19,6 +19,7 @@ import (
 func (rt *Runtime) BeginCycle() bool {
 	rt.ensureCommitted()
 	rt.node.OnCycle(rt.cycle)
+	rt.comm.InjectCycleFaults(rt.cycle)
 	if rt.isOut {
 		rt.removedCycle()
 		return !rt.isOut // true exactly when this node just rejoined
@@ -27,11 +28,44 @@ func (rt *Runtime) BeginCycle() bool {
 	if !rt.cfg.Adapt {
 		return true
 	}
+	if len(rt.pendingDead) > 0 {
+		// A death detected mid-cycle (failed collective, redistribution
+		// receive, replica refresh) is recovered here, the one point every
+		// surviving active rank is guaranteed to reach.
+		rt.handleFailure()
+	}
 
-	loads, removedRanks, removedLoads := rt.exchangeLoads()
+	loads, removedRanks, removedLoads, err := rt.exchangeLoads()
+	if err != nil {
+		// A member died inside the load exchange: every member got the same
+		// error, so absorbing and recovering here is symmetric. Skip this
+		// cycle's adaptation step; the fresh baseline resumes next cycle.
+		rt.absorbFailure(err)
+		rt.handleFailure()
+		return true
+	}
 	if rt.sink != nil {
 		if rel := rt.RelRank(); rel >= 0 && rel < len(loads) {
 			rt.cycLoad = loads[rel]
+		}
+	}
+	if len(removedRanks) > 0 {
+		// A crashed removed node reports load -1 (the root's poll sentinel,
+		// carried to every member through the allgather, so all prune the
+		// same set). Copies keep the root's in-flight slices untouched.
+		var deadRemoved, liveRanks, liveLoads []int
+		for i, r := range removedRanks {
+			if removedLoads[i] < 0 {
+				deadRemoved = append(deadRemoved, r)
+			} else {
+				liveRanks = append(liveRanks, r)
+				liveLoads = append(liveLoads, removedLoads[i])
+			}
+		}
+		if len(deadRemoved) > 0 {
+			rt.absorbDead(deadRemoved)
+			rt.handleFailure()
+			removedRanks, removedLoads = liveRanks, liveLoads
 		}
 	}
 	if rt.maybeRejoin(loads, removedRanks, removedLoads) {
@@ -52,7 +86,15 @@ func (rt *Runtime) BeginCycle() bool {
 			rt.decideRedistribution(loads)
 		}
 	case stPost:
-		if rt.cycTimer.Cycles() >= rt.cfg.PostRedistGrace {
+		if loadmon.Changed(rt.baseLoads, loads) && (rt.cfg.MaxRedists == 0 || rt.redists < rt.cfg.MaxRedists) {
+			// A fresh load change during the post-redistribution grace must
+			// restart measurement on the new baseline; the old code waited
+			// out the grace and fed maybeDrop loads the installed
+			// distribution was never built for.
+			rt.cycTimer = nil
+			rt.cycOpen = false
+			rt.enterGrace(loads)
+		} else if rt.cycTimer.Cycles() >= rt.cfg.PostRedistGrace {
 			rt.maybeDrop(loads)
 		} else {
 			rt.cycTimer.Begin()
@@ -77,6 +119,9 @@ func (rt *Runtime) EndCycle() {
 		rt.cycOpen = false
 	}
 	rt.endCycleTelemetry()
+	if rt.cfg.Replicate && rt.cfg.ReplicaEvery > 0 && rt.cycle%rt.cfg.ReplicaEvery == 0 {
+		rt.refreshReplicas()
+	}
 	rt.cycle++
 }
 
@@ -98,7 +143,7 @@ func (rt *Runtime) enterGrace(loads []int) {
 // measureComm converts the traffic accumulated since grace start into
 // per-cycle communication costs (CPU seconds and wire seconds per node),
 // reduced to the cluster-wide maximum so every rank uses the same value.
-func (rt *Runtime) measureComm(cycles int) (commCPU, commWire float64) {
+func (rt *Runtime) measureComm(cycles int) (commCPU, commWire float64, err error) {
 	net := rt.comm.World().Cluster().Net()
 	msgs := float64(rt.comm.SentMsgs + rt.comm.RecvMsgs - rt.graceMsgs0)
 	bytes := float64(rt.comm.SentBytes + rt.comm.RecvBytes - rt.graceBytes0)
@@ -106,33 +151,56 @@ func (rt *Runtime) measureComm(cycles int) (commCPU, commWire float64) {
 	cpu := (msgs*net.CPUPerMsg.Seconds() + bytes*net.CPUPerByte/1e9) * per
 	wire := (msgs/2*net.Latency.Seconds() + bytes/2/net.BytesPerSec) * per
 	buf := [2]float64{cpu, wire}
-	rt.comm.AllreduceF64sInto(rt.group, buf[:], mpi.Max)
-	return buf[0], buf[1]
+	if err := rt.comm.AllreduceF64sIntoErr(rt.group, buf[:], mpi.Max); err != nil {
+		return 0, 0, err
+	}
+	return buf[0], buf[1], nil
 }
 
 // gatherEstimates assembles the global per-iteration cost vector from every
 // active rank's grace-period collector.
-func (rt *Runtime) gatherEstimates() []float64 {
+func (rt *Runtime) gatherEstimates() ([]float64, error) {
 	lo, _ := rt.collector.Range()
 	type chunk struct {
 		Lo  int
 		Est []float64
 	}
 	est := rt.collector.Estimates()
-	parts := rt.comm.Allgather(rt.group, chunk{Lo: lo, Est: est}, 8*len(est)+8)
+	parts, err := rt.comm.AllgatherErr(rt.group, chunk{Lo: lo, Est: est}, 8*len(est)+8)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, rt.n)
 	for _, p := range parts {
 		c := p.(chunk)
 		copy(out[c.Lo:], c.Est)
 	}
-	return out
+	return out, nil
+}
+
+// abandonDecision gives up on an in-flight redistribution decision after a
+// member died inside one of its collectives. Every member observed the same
+// error, so all abandon together; recovery runs at the top of the next
+// cycle and rebuilds the baseline.
+func (rt *Runtime) abandonDecision(err error) {
+	rt.absorbFailure(err)
+	rt.collector = nil
+	rt.state = stNormal
 }
 
 // decideRedistribution computes and executes a new distribution from the
 // grace-period measurements (§4.3 + §4.4).
 func (rt *Runtime) decideRedistribution(loads []int) {
-	iterCosts := rt.gatherEstimates()
-	commCPU, commWire := rt.measureComm(rt.collector.Cycles())
+	iterCosts, err := rt.gatherEstimates()
+	if err != nil {
+		rt.abandonDecision(err)
+		return
+	}
+	commCPU, commWire, err := rt.measureComm(rt.collector.Cycles())
+	if err != nil {
+		rt.abandonDecision(err)
+		return
+	}
 	rt.collector = nil
 	rt.iterCosts = iterCosts
 	rt.commCPU, rt.commWire = commCPU, commWire
@@ -241,9 +309,13 @@ func (rt *Runtime) decideRedistribution(loads []int) {
 // maybeDrop applies the paper's drop criterion after the
 // post-redistribution grace period.
 func (rt *Runtime) maybeDrop(loads []int) {
-	measured := rt.comm.AllreduceMax(rt.group, rt.cycTimer.Average())
+	measured, err := rt.comm.AllreduceMaxErr(rt.group, rt.cycTimer.Average())
 	rt.cycTimer = nil
 	rt.state = stNormal
+	if err != nil {
+		rt.absorbFailure(err)
+		return
+	}
 	nodes := rt.nodesFromLoads(loads)
 	drop, predicted := distribution.DropDecision(nodes, rt.iterCosts, measured, rt.commCPU, rt.commWire)
 	if rt.sink != nil {
@@ -338,28 +410,42 @@ func (rt *Runtime) logicalDrop(nodes []distribution.Node, iterCosts []float64) {
 	// unloaded nodes by relative power. (Weighting uses a prefix of the
 	// iteration costs, exact for uniform workloads — the regime in which
 	// logical dropping is compared against physical dropping.)
-	counts := make([]int, len(nodes))
 	remaining := rt.n - len(loadedIdx)
 	fractions := distribution.RelativePowerFractions(stayNodes)
 	sub := distribution.PartitionWeighted(iterCosts[:remaining], fractions)
-	j := 0
-	for i := range nodes {
-		if loadedIdx[i] {
-			counts[i] = 1
-		} else {
-			counts[i] = sub[j]
-			j++
-		}
-	}
-	// Fix rounding: counts must sum to n.
-	sum := 0
-	for _, c := range counts {
-		sum += c
-	}
-	counts[len(counts)-1] += rt.n - sum
+	counts := logicalDropCounts(rt.n, loadedIdx, len(nodes), sub)
 	rt.applyDistribution(drsd.NewBlock(rt.active, counts))
 	rt.redists++
 	rt.record(EvLogicalDrop, 0, fmt.Sprintf("counts=%v", counts))
 	rt.emitMembership("logical-drop")
 	rt.state = stNormal
+}
+
+// logicalDropCounts assigns one iteration to each loaded node and sub[j] to
+// the j-th unloaded node, then applies the rounding remainder to the last
+// unloaded node so counts sum to n. The former inline code padded
+// counts[len-1] unconditionally, handing the remainder to a loaded node
+// whenever the last rank happened to be loaded — breaking the
+// minimum-assignment invariant the logical drop exists to provide.
+func logicalDropCounts(n int, loaded map[int]bool, numNodes int, sub []int) []int {
+	counts := make([]int, numNodes)
+	lastUnloaded := -1
+	j := 0
+	for i := 0; i < numNodes; i++ {
+		if loaded[i] {
+			counts[i] = 1
+		} else {
+			counts[i] = sub[j]
+			j++
+			lastUnloaded = i
+		}
+	}
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if lastUnloaded >= 0 {
+		counts[lastUnloaded] += n - sum
+	}
+	return counts
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/mpi"
 )
 
@@ -9,6 +11,13 @@ import (
 // phase, but do participate in the send-out" — they contribute nothing to
 // reductions, but still receive results (convergence flags, termination
 // notices) so their global state stays current.
+//
+// Every routine survives rank crashes: a collective that fails because a
+// group member died is retried over the shrunken group (absorbFailure; the
+// error is identical on every member, so all retry together and the data
+// redistribution runs at the next cycle boundary). Removed ranks cannot
+// take part in that agreement — if their send-out root crashes they abort
+// the world with an explicit error instead of hanging.
 
 // sendOutRoot is the active rank responsible for forwarding global results
 // to removed nodes.
@@ -27,7 +36,11 @@ func (rt *Runtime) sendOut(v []float64) {
 
 // recvOut receives the next global result on a removed rank.
 func (rt *Runtime) recvOut() []float64 {
-	p, _ := rt.comm.Recv(rt.sendOutRoot(), tagGlobal)
+	p, _, err := rt.comm.RecvErr(rt.sendOutRoot(), tagGlobal)
+	if err != nil {
+		rt.comm.Abort(fmt.Errorf("core: removed rank %d: send-out root %d crashed: %w",
+			rt.comm.Rank(), rt.sendOutRoot(), err))
+	}
 	return p.([]float64)
 }
 
@@ -38,9 +51,15 @@ func (rt *Runtime) AllreduceF64s(vals []float64, op func(a, b float64) float64) 
 	if rt.isOut {
 		return rt.recvOut()
 	}
-	out := rt.comm.AllreduceF64s(rt.group, vals, op)
-	rt.sendOut(out)
-	return out
+	for {
+		out, err := rt.comm.AllreduceF64sErr(rt.group, vals, op)
+		if err != nil {
+			rt.absorbFailure(err)
+			continue
+		}
+		rt.sendOut(out)
+		return out
+	}
 }
 
 // AllreduceF64sInto reduces buf element-wise across the active nodes,
@@ -52,7 +71,14 @@ func (rt *Runtime) AllreduceF64sInto(buf []float64, op func(a, b float64) float6
 		copy(buf, rt.recvOut())
 		return
 	}
-	rt.comm.AllreduceF64sInto(rt.group, buf, op)
+	for {
+		// On error buf is untouched, so the retry contributes intact values.
+		if err := rt.comm.AllreduceF64sIntoErr(rt.group, buf, op); err != nil {
+			rt.absorbFailure(err)
+			continue
+		}
+		break
+	}
 	// Send-out must ship a private copy: eager sends park the payload in the
 	// receiver's mailbox, and the caller is free to overwrite buf as soon as
 	// we return.
@@ -66,7 +92,16 @@ func (rt *Runtime) AllreduceSum(v float64) float64 {
 	if rt.isOut {
 		return rt.recvOut()[0]
 	}
-	out := rt.comm.AllreduceSum(rt.group, v)
+	var out float64
+	for {
+		var err error
+		out, err = rt.comm.AllreduceSumErr(rt.group, v)
+		if err != nil {
+			rt.absorbFailure(err)
+			continue
+		}
+		break
+	}
 	if rt.comm.Rank() == rt.sendOutRoot() && len(rt.removed) > 0 {
 		rt.sendOut([]float64{out})
 	}
@@ -78,7 +113,16 @@ func (rt *Runtime) AllreduceMax(v float64) float64 {
 	if rt.isOut {
 		return rt.recvOut()[0]
 	}
-	out := rt.comm.AllreduceMax(rt.group, v)
+	var out float64
+	for {
+		var err error
+		out, err = rt.comm.AllreduceMaxErr(rt.group, v)
+		if err != nil {
+			rt.absorbFailure(err)
+			continue
+		}
+		break
+	}
 	if rt.comm.Rank() == rt.sendOutRoot() && len(rt.removed) > 0 {
 		rt.sendOut([]float64{out})
 	}
@@ -86,15 +130,24 @@ func (rt *Runtime) AllreduceMax(v float64) float64 {
 }
 
 // BcastF64s distributes a vector from the active relative-rank root to all
-// nodes, including removed ones.
+// nodes, including removed ones. If the root itself crashes, the retry
+// re-resolves relRoot against the shrunken active list, so the new root's
+// buffer is the one broadcast.
 func (rt *Runtime) BcastF64s(relRoot int, vals []float64) []float64 {
 	if rt.isOut {
 		return rt.recvOut()
 	}
-	root := rt.active[relRoot]
-	out := rt.comm.Bcast(rt.group, root, vals, mpi.F64Bytes(len(vals))).([]float64)
-	rt.sendOut(out)
-	return out
+	for {
+		root := rt.active[relRoot]
+		out, err := rt.comm.BcastErr(rt.group, root, vals, mpi.F64Bytes(len(vals)))
+		if err != nil {
+			rt.absorbFailure(err)
+			continue
+		}
+		res := out.([]float64)
+		rt.sendOut(res)
+		return res
+	}
 }
 
 // Barrier synchronises the active nodes. Removed nodes pass through
@@ -104,7 +157,13 @@ func (rt *Runtime) Barrier() {
 	if rt.isOut {
 		return
 	}
-	rt.comm.Barrier(rt.group)
+	for {
+		if err := rt.comm.BarrierErr(rt.group); err != nil {
+			rt.absorbFailure(err)
+			continue
+		}
+		return
+	}
 }
 
 // Finalize completes the run: active nodes synchronise and the send-out
@@ -113,10 +172,13 @@ func (rt *Runtime) Barrier() {
 func (rt *Runtime) Finalize() {
 	rt.ensureCommitted()
 	if rt.isOut {
-		rt.comm.Recv(rt.sendOutRoot(), tagDone)
+		if _, _, err := rt.comm.RecvErr(rt.sendOutRoot(), tagDone); err != nil {
+			rt.comm.Abort(fmt.Errorf("core: removed rank %d: send-out root %d crashed: %w",
+				rt.comm.Rank(), rt.sendOutRoot(), err))
+		}
 		return
 	}
-	rt.comm.Barrier(rt.group)
+	rt.Barrier()
 	if rt.comm.Rank() == rt.sendOutRoot() {
 		for _, r := range rt.removed {
 			rt.comm.Send(r, tagDone, nil, 0)

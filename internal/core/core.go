@@ -70,6 +70,8 @@ const (
 	tagPing      = tagBase + 514
 	tagLoadReply = tagBase + 515
 	tagRejoin    = tagBase + 516
+	tagReplica   = tagBase + 1024 // + array registration index (buddy-replica refresh)
+	tagRecover   = tagBase + 1536 // + array registration index (failure recovery)
 )
 
 // Config parameterises the runtime (the DMPI_init arguments plus the
@@ -104,6 +106,16 @@ type Config struct {
 	// redistributes. With rejoin enabled the send-out root itself is never
 	// dropped, so removed nodes always have a live, fixed contact.
 	AllowRejoin bool
+	// Replicate enables buddy replication of dense arrays: each rank ships
+	// a copy of its owned rows to its ring successor in the current
+	// distribution at every (re)distribution point, so a crashed rank's rows
+	// can be reconstructed during failure recovery instead of being declared
+	// lost. Sparse arrays are never replicated.
+	Replicate bool
+	// ReplicaEvery additionally refreshes replicas every N phase cycles
+	// (0 = only at distribution points). A replica restores the state it
+	// captured, so a smaller interval means fresher recovered data.
+	ReplicaEvery int
 	// Telemetry, when non-nil, receives a structured record for every
 	// adaptation action: per-cycle iteration breakdowns, distribution
 	// decisions with the candidates considered, redistribution volumes and
@@ -152,6 +164,7 @@ const (
 	EvLogicalDrop
 	EvRemoved
 	EvRejoin
+	EvFailure
 )
 
 // String names the event kind.
@@ -171,6 +184,8 @@ func (k EventKind) String() string {
 		return "removed"
 	case EvRejoin:
 		return "rejoin"
+	case EvFailure:
+		return "failure"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -223,6 +238,14 @@ type Runtime struct {
 	graceStart  vclock.Time
 
 	events []Event
+
+	// Failure state (failure.go).
+	pendingDead   []int               // dead ranks detected, recovery not yet run
+	deadRanks     []int               // every dead rank absorbed so far
+	lost          []LostRange         // rows declared lost by failure recovery
+	lostRows      int                 // total rows lost
+	recoveredRows int                 // total rows reconstructed from replicas
+	replicas      map[string]*replica // predecessor's rows, per dense array
 
 	// Redistribution scratch, reused across applyDistribution calls so a
 	// steady stream of redistributions performs no per-call allocation for
@@ -393,6 +416,9 @@ func (rt *Runtime) SendRel(relDst, tag int, payload any, bytes int) {
 
 // RecvRel receives from a relative rank (DMPI_Recv).
 func (rt *Runtime) RecvRel(relSrc, tag int) (any, mpi.Status) {
+	if tag >= tagBase {
+		panic("core: user tag collides with runtime tag space")
+	}
 	return rt.comm.Recv(rt.active[relSrc], tag)
 }
 
@@ -525,6 +551,7 @@ func (rt *Runtime) ensureCommitted() {
 		}
 	}
 	rt.baseLoads = make([]int, len(rt.active))
+	rt.refreshReplicas()
 }
 
 // Commit forces initialisation before the first cycle so the application

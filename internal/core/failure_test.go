@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/drsd"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+	"repro/internal/vclock"
+)
+
+// TestLogicalDropCountsRemainderToLastUnloaded pins the satellite fix: the
+// partition remainder must land on an unloaded node even when the last rank
+// is the loaded one (the old inline code padded counts[len-1]
+// unconditionally, breaking the minimum-assignment invariant).
+func TestLogicalDropCountsRemainderToLastUnloaded(t *testing.T) {
+	// 4 nodes, last one loaded, sub deliberately under-summing: 2+2+2+1 = 7
+	// leaves a remainder of 3 for n = 10.
+	counts := logicalDropCounts(10, map[int]bool{3: true}, 4, []int{2, 2, 2})
+	if counts[3] != 1 {
+		t.Fatalf("loaded last node got %d iterations, want exactly 1 (counts %v)", counts[3], counts)
+	}
+	if counts[2] != 5 {
+		t.Fatalf("remainder not applied to last unloaded node: %v", counts)
+	}
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 10 {
+		t.Fatalf("counts %v sum to %d, want 10", counts, sum)
+	}
+
+	// Loaded node in the middle: remainder goes to the final (unloaded) node
+	// as before.
+	counts = logicalDropCounts(10, map[int]bool{1: true}, 4, []int{3, 3, 2})
+	if counts[1] != 1 || counts[3] != 3 {
+		t.Fatalf("middle-loaded case: %v", counts)
+	}
+}
+
+// TestUserTagGuards verifies SendRel and RecvRel both reject tags that
+// collide with the runtime's internal tag space (the old code guarded only
+// the send side, so a stray user receive could steal redistribution or
+// replica traffic).
+func TestUserTagGuards(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s accepted a runtime-space tag", name)
+			}
+		}()
+		fn()
+	}
+	rt := &Runtime{}
+	expectPanic("SendRel", func() { rt.SendRel(0, tagBase, nil, 0) })
+	expectPanic("RecvRel", func() { rt.RecvRel(0, tagBase+5) })
+	expectPanic("RecvRelF64s", func() { rt.RecvRelF64s(0, tagRedist) })
+}
+
+// TestPostRedistGraceRestartsOnLoadChange: a load change arriving during the
+// post-redistribution grace window must restart measurement immediately
+// instead of waiting the window out (the second redistribution then lands
+// well inside the first window).
+func TestPostRedistGraceRestartsOnLoadChange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	cfg.GracePeriod = 3
+	cfg.PostRedistGrace = 20
+	spec := cluster.Uniform(3).
+		With(cluster.CycleEvent(1, 2, +1)).
+		With(cluster.CycleEvent(2, 13, +1))
+	results := runMini(t, spec, cfg, 48, 45, false)
+	checkValuesAndCoverage(t, results, 48)
+	var redists []Event
+	for _, ev := range results[0].events {
+		if ev.Kind == EvRedistEnd {
+			redists = append(redists, ev)
+		}
+	}
+	if len(redists) < 2 {
+		t.Fatalf("saw %d redistributions, want 2 (restart inside post-redist grace)", len(redists))
+	}
+	if gap := redists[1].Cycle - redists[0].Cycle; gap >= cfg.PostRedistGrace {
+		t.Fatalf("second redistribution waited out the post-redist grace: cycles %d -> %d (window %d)",
+			redists[0].Cycle, redists[1].Cycle, cfg.PostRedistGrace)
+	}
+	counts := results[0].counts
+	if counts[1] >= counts[0] || counts[2] >= counts[0] {
+		t.Fatalf("counts %v: both loaded nodes should trail the unloaded one", counts)
+	}
+}
+
+// crashMini runs the runMini workload with an injected crash and returns
+// the surviving ranks' results.
+func crashMini(t *testing.T, cfg Config, n, cycles, victim, crashCycle int) map[int]*miniResult {
+	t.Helper()
+	spec := cluster.Uniform(3)
+	spec.Faults = []fault.Fault{fault.CrashAtCycle(victim, crashCycle)}
+	var mu sync.Mutex
+	results := map[int]*miniResult{}
+	err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+		rt := New(c, cfg)
+		x := rt.RegisterDense("X", n, 4)
+		ph := rt.InitPhase(n)
+		ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+		rt.Commit()
+		x.Fill(func(g, j int) float64 { return float64(g * 10) })
+		res := &miniResult{rank: c.Rank()}
+		for tstep := 0; tstep < cycles; tstep++ {
+			if rt.BeginCycle() {
+				lo, hi := ph.Bounds()
+				for g := lo; g < hi; g++ {
+					row := x.Row(g)
+					for j := range row {
+						row[j]++
+					}
+					rt.ComputeIter(g, iterCost)
+				}
+			}
+			rt.EndCycle()
+		}
+		rt.Finalize()
+		res.redists = rt.Redistributions()
+		res.events = rt.Events()
+		res.counts = rt.Dist().Counts()
+		res.ownedOK = true
+		lo, hi := ph.Bounds()
+		res.ownedCnt = hi - lo
+		for g := lo; g < hi; g++ {
+			for j := 0; j < 4; j++ {
+				if x.Row(g)[j] != float64(g*10+cycles) {
+					res.ownedOK = false
+				}
+			}
+		}
+		lostRows := 0
+		for _, lr := range rt.LostRows() {
+			lostRows += lr.Hi - lr.Lo
+		}
+		res.globals = []float64{float64(lostRows), float64(rt.RecoveredRows())}
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d ranks reported, want the 2 survivors", len(results))
+	}
+	for r, res := range results {
+		if r == victim {
+			t.Fatalf("crashed rank %d reported a result", victim)
+		}
+		found := false
+		for _, ev := range res.events {
+			if ev.Kind == EvFailure {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("rank %d recorded no %v event", r, EvFailure)
+		}
+		total := 0
+		for _, c := range res.counts {
+			total += c
+		}
+		if total != n {
+			t.Fatalf("rank %d distribution covers %d rows, want %d (counts %v)", r, total, n, res.counts)
+		}
+	}
+	return results
+}
+
+// TestCrashRecoveryWithoutReplication: survivors drop the dead member,
+// re-partition the full index space, and declare the dead rank's rows lost.
+func TestCrashRecoveryWithoutReplication(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	results := crashMini(t, cfg, 48, 20, 2, 5)
+	lost := 0.0
+	for _, res := range results {
+		lost += res.globals[0]
+	}
+	if lost == 0 {
+		t.Fatal("no rows declared lost without replication")
+	}
+}
+
+// TestCrashRecoveryWithReplicationRestoresValues: with per-cycle buddy
+// replication the dead rank's rows are reconstructed exactly, so every
+// surviving row carries the bit-exact value an uninterrupted run produces.
+func TestCrashRecoveryWithReplicationRestoresValues(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	cfg.Replicate = true
+	cfg.ReplicaEvery = 1
+	results := crashMini(t, cfg, 48, 20, 2, 5)
+	recovered := 0.0
+	for r, res := range results {
+		if res.globals[0] != 0 {
+			t.Fatalf("rank %d lost %v rows despite replication", r, res.globals[0])
+		}
+		recovered += res.globals[1]
+		if !res.ownedOK {
+			t.Fatalf("rank %d holds wrong values after recovery", r)
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no rows recovered from replicas")
+	}
+}
+
+// TestMultiCrashConverges: two ranks crashing at different cycles leave a
+// single survivor that still completes and owns the whole index space.
+func TestMultiCrashConverges(t *testing.T) {
+	const n = 30
+	spec := cluster.Uniform(3)
+	spec.Faults = []fault.Fault{
+		fault.CrashAtCycle(1, 4),
+		fault.CrashAtCycle(2, 8),
+	}
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	var mu sync.Mutex
+	counts := map[int][]int{}
+	err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+		rt := New(c, cfg)
+		rt.RegisterDense("X", n, 1)
+		ph := rt.InitPhase(n)
+		ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+		rt.Commit()
+		for tstep := 0; tstep < 15; tstep++ {
+			if rt.BeginCycle() {
+				lo, hi := ph.Bounds()
+				for g := lo; g < hi; g++ {
+					rt.ComputeIter(g, iterCost)
+				}
+			}
+			rt.EndCycle()
+		}
+		rt.Finalize()
+		if got := rt.DeadRanks(); len(got) != 2 {
+			return fmt.Errorf("rank %d sees dead ranks %v, want [1 2]", c.Rank(), got)
+		}
+		mu.Lock()
+		counts[c.Rank()] = rt.Dist().Counts()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 1 || counts[0] == nil {
+		t.Fatalf("want only rank 0 to survive, got %v", counts)
+	}
+	if len(counts[0]) != 1 || counts[0][0] != n {
+		t.Fatalf("survivor's distribution %v, want [%d]", counts[0], n)
+	}
+}
+
+// TestCrashDeterminismCore: repeated crash runs produce identical finish
+// times and identical event streams on the survivors.
+func TestCrashDeterminismCore(t *testing.T) {
+	runOnce := func() map[int]vclock.Time {
+		spec := cluster.Uniform(3)
+		spec.Faults = []fault.Fault{fault.CrashAtCycle(1, 5)}
+		cfg := DefaultConfig()
+		cfg.Drop = DropNever
+		var mu sync.Mutex
+		finish := map[int]vclock.Time{}
+		err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+			rt := New(c, cfg)
+			rt.RegisterDense("X", 30, 1)
+			ph := rt.InitPhase(30)
+			ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+			rt.Commit()
+			for tstep := 0; tstep < 12; tstep++ {
+				if rt.BeginCycle() {
+					lo, hi := ph.Bounds()
+					for g := lo; g < hi; g++ {
+						rt.ComputeIter(g, iterCost)
+					}
+				}
+				rt.EndCycle()
+			}
+			rt.Finalize()
+			mu.Lock()
+			finish[c.Rank()] = c.Now()
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return finish
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("survivor sets differ: %v vs %v", a, b)
+	}
+	for r, ta := range a {
+		if tb, ok := b[r]; !ok || ta != tb {
+			t.Fatalf("rank %d finish differs: %v vs %v", r, ta, b[r])
+		}
+	}
+}

@@ -94,6 +94,7 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 	if rt.sink != nil {
 		moves = make([]telemetry.ArrayMove, 0, len(rt.order))
 	}
+	lost0 := rt.lostRows
 	olo, ohi := rt.dist.RangeOf(me)
 
 	for _, name := range rt.order {
@@ -190,7 +191,15 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 			if tr.To != me {
 				continue
 			}
-			payload, st := rt.comm.Recv(tr.From, tag)
+			payload, st, err := rt.comm.RecvErr(tr.From, tag)
+			if err != nil {
+				// The sender died before shipping these rows. Record the
+				// death and declare the rows lost; the recovery pass at the
+				// next cycle boundary may still restore them from a replica.
+				rt.absorbDead(rt.deadOf(err))
+				rt.loseRows(a, tr.Lo, tr.Hi)
+				continue
+			}
 			bytesMoved += int64(st.Bytes)
 			if a.dense != nil {
 				slab, ok := payload.(*denseSlab)
@@ -211,7 +220,9 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 	}
 
 	rt.dist = newDist
-	rt.comm.Barrier(rt.group)
+	if err := rt.comm.BarrierErr(rt.group); err != nil {
+		rt.absorbDead(rt.deadOf(err))
+	}
 	rt.events = append(rt.events, Event{
 		Kind: EvRedistEnd, Cycle: rt.cycle, Time: rt.node.Now(),
 		Bytes: bytesMoved, Counts: newDist.Counts(),
@@ -229,6 +240,8 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 			BytesSent:  sent,
 			BytesMoved: bytesMoved,
 			Counts:     newDist.Counts(),
+			LostRows:   rt.lostRows - lost0,
 		})
 	}
+	rt.refreshReplicas()
 }

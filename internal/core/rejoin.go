@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/distribution"
@@ -36,6 +37,16 @@ type rejoinPacket struct {
 	BaseLoads  []int // the load baseline all members adopt, so change detection stays in lockstep
 }
 
+// wireBytes is the modelled wire size of the packet: 8 bytes of header plus
+// 8 per int across all seven slices. The former flat 8+16*len(NewActive)
+// undercharged badly — OldActive, OldCounts, NewRemoved, Rejoining and
+// BaseLoads rode for free.
+func (p *rejoinPacket) wireBytes() int {
+	n := len(p.NewActive) + len(p.NewCounts) + len(p.OldActive) + len(p.OldCounts) +
+		len(p.NewRemoved) + len(p.Rejoining) + len(p.BaseLoads)
+	return 8 + 8*n
+}
+
 // loadMsg is one rank's contribution to the per-cycle load exchange. Only
 // the send-out root fills the removed-node fields.
 type loadMsg struct {
@@ -52,7 +63,13 @@ func (rt *Runtime) pollRemoved() []int {
 		rt.comm.Send(r, tagPing, nil, 1)
 	}
 	for i, r := range rt.removed {
-		p, _ := rt.comm.Recv(r, tagLoadReply)
+		p, _, err := rt.comm.RecvErr(r, tagLoadReply)
+		if err != nil {
+			// Crashed removed node: the -1 sentinel travels through the
+			// allgather, so every active rank prunes the same set.
+			loads[i] = -1
+			continue
+		}
 		loads[i] = p.(int)
 	}
 	return loads
@@ -61,13 +78,28 @@ func (rt *Runtime) pollRemoved() []int {
 // exchangeLoads gathers every active rank's load — and, when rejoin is
 // enabled, the removed nodes' loads via the root — so all active ranks see
 // an identical picture.
-func (rt *Runtime) exchangeLoads() (active []int, removedRanks, removedLoads []int) {
+func (rt *Runtime) exchangeLoads() (active []int, removedRanks, removedLoads []int, err error) {
 	my := loadMsg{Load: rt.monitor.CompetingProcesses()}
 	if rt.cfg.AllowRejoin && rt.comm.Rank() == rt.sendOutRoot() && len(rt.removed) > 0 {
 		my.RemovedRanks = append([]int(nil), rt.removed...)
 		my.RemovedLoads = rt.pollRemoved()
 	}
-	parts := rt.comm.Allgather(rt.group, my, 8+16*len(my.RemovedRanks))
+	// Symmetric wire price: the allgather's cost closure runs on whichever
+	// member physically arrives last, so a per-rank price (the former
+	// 8+16*len(my.RemovedRanks), nonzero only on the root) made the charged
+	// bytes depend on goroutine arrival order. Every rank knows rt.removed,
+	// so all charge the same size — and the root's contribution really does
+	// carry both the removed ranks and their loads, which the former price
+	// ignored (RemovedLoads rode for free): 8 bytes of load plus 24 per
+	// removed node.
+	bytes := 8
+	if rt.cfg.AllowRejoin && len(rt.removed) > 0 {
+		bytes += 24 * len(rt.removed)
+	}
+	parts, err := rt.comm.AllgatherErr(rt.group, my, bytes)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	active = make([]int, len(parts))
 	for i, p := range parts {
 		m := p.(loadMsg)
@@ -76,7 +108,7 @@ func (rt *Runtime) exchangeLoads() (active []int, removedRanks, removedLoads []i
 			removedRanks, removedLoads = m.RemovedRanks, m.RemovedLoads
 		}
 	}
-	return active, removedRanks, removedLoads
+	return active, removedRanks, removedLoads, nil
 }
 
 // maybeRejoin checks the polled removed-node loads and, when some node has
@@ -99,8 +131,9 @@ func (rt *Runtime) maybeRejoin(activeLoads, removedRanks, removedLoads []int) bo
 	isRoot := rt.comm.Rank() == rt.sendOutRoot()
 	if len(rejoining) == 0 {
 		if isRoot {
+			empty := rejoinPacket{}
 			for _, r := range rt.removed {
-				rt.comm.Send(r, tagRejoin, rejoinPacket{}, 8)
+				rt.comm.Send(r, tagRejoin, empty, empty.wireBytes())
 			}
 		}
 		return false
@@ -159,7 +192,7 @@ func (rt *Runtime) maybeRejoin(activeLoads, removedRanks, removedLoads []int) bo
 	}
 	if isRoot {
 		for _, r := range rt.removed {
-			rt.comm.Send(r, tagRejoin, pkt, 8+16*len(newActive))
+			rt.comm.Send(r, tagRejoin, pkt, pkt.wireBytes())
 		}
 	}
 
@@ -186,9 +219,15 @@ func (rt *Runtime) removedCycle() {
 	if !rt.cfg.AllowRejoin {
 		return
 	}
-	rt.comm.Recv(rt.sendOutRoot(), tagPing)
-	rt.comm.Send(rt.sendOutRoot(), tagLoadReply, rt.monitor.CompetingProcesses(), 8)
-	p, _ := rt.comm.Recv(rt.sendOutRoot(), tagRejoin)
+	root := rt.sendOutRoot()
+	if _, _, err := rt.comm.RecvErr(root, tagPing); err != nil {
+		rt.comm.Abort(fmt.Errorf("core: removed rank %d: send-out root %d crashed: %w", rt.comm.Rank(), root, err))
+	}
+	rt.comm.Send(root, tagLoadReply, rt.monitor.CompetingProcesses(), 8)
+	p, _, err := rt.comm.RecvErr(root, tagRejoin)
+	if err != nil {
+		rt.comm.Abort(fmt.Errorf("core: removed rank %d: send-out root %d crashed: %w", rt.comm.Rank(), root, err))
+	}
 	pkt := p.(rejoinPacket)
 	if pkt.NewActive == nil {
 		return

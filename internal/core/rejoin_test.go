@@ -129,3 +129,32 @@ func TestRepeatedChurn(t *testing.T) {
 		t.Fatal("node 1 should be active at the end")
 	}
 }
+
+// TestRejoinTimingDeterministic pins the rejoin-protocol cost accounting:
+// every rank's event stream and finish time must be identical across runs.
+// The old exchangeLoads priced the removed-poll wire traffic only on
+// whichever rank happened to run the allgather's reduce closure (the last
+// physical arriver), so repeated runs could disagree on virtual timestamps.
+func TestRejoinTimingDeterministic(t *testing.T) {
+	runOnce := func() map[int]*miniResult {
+		cfg := DefaultConfig()
+		cfg.Drop = DropAlways
+		cfg.AllowRejoin = true
+		return runMini(t, rejoinSpec(4, 2, 3, 25), cfg, 64, 60, false)
+	}
+	a, b := runOnce(), runOnce()
+	for r, res := range a {
+		other := b[r]
+		if res.final != other.final {
+			t.Fatalf("rank %d finish time differs across runs: %v vs %v", r, res.final, other.final)
+		}
+		if len(res.events) != len(other.events) {
+			t.Fatalf("rank %d event counts differ: %d vs %d", r, len(res.events), len(other.events))
+		}
+		for i := range res.events {
+			if res.events[i].Time != other.events[i].Time || res.events[i].Kind != other.events[i].Kind {
+				t.Fatalf("rank %d event %d differs: %+v vs %+v", r, i, res.events[i], other.events[i])
+			}
+		}
+	}
+}

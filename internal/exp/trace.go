@@ -5,6 +5,7 @@ import (
 	"repro/internal/apps/jacobi"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 )
 
@@ -20,6 +21,15 @@ type TraceOptions struct {
 	CPCycle     int // phase cycle at which it arrives
 	Drop        core.DropPolicy
 	RingCap     int // telemetry ring capacity
+
+	// Faults injects deterministic failures into the run (see
+	// internal/fault); empty means a fault-free run with a byte-identical
+	// trace to earlier versions.
+	Faults []fault.Fault
+	// Replicate / ReplicaEvery configure dense-array buddy replication for
+	// crash recovery (core.Config fields of the same names).
+	Replicate    bool
+	ReplicaEvery int
 }
 
 // DefaultTraceOptions returns the canonical loaded-4-node scenario with
@@ -50,7 +60,10 @@ func RunTrace(o TraceOptions) (*TraceResult, error) {
 	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = o.Rows, o.Cols, o.Iters, o.CostPerElem
 	cfg.Core.Drop = o.Drop
 	cfg.Core.Telemetry = ring
+	cfg.Core.Replicate = o.Replicate
+	cfg.Core.ReplicaEvery = o.ReplicaEvery
 	spec := cluster.Uniform(o.Nodes).With(cluster.CycleEvent(o.CPNode, o.CPCycle, +1))
+	spec.Faults = append(spec.Faults, o.Faults...)
 	res, err := jacobi.Run(cluster.New(spec), cfg)
 	if err != nil {
 		return nil, err

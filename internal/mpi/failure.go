@@ -1,0 +1,163 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
+)
+
+// errCrashed is the panic value that unwinds a rank killed by an injected
+// crash fault. Unlike errFailed it does not fail the world: the surviving
+// ranks keep running and detect the death through liveness checks.
+var errCrashed = errors.New("mpi: rank crashed")
+
+// RankFailedError reports that an operation could not complete because one
+// or more peer ranks are dead. Ranks is sorted and never empty.
+type RankFailedError struct {
+	Op    string // "recv" or "collective"
+	Ranks []int
+}
+
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("mpi: %s failed: dead rank(s) %v", e.Op, e.Ranks)
+}
+
+// Kill marks rank as dead and wakes every blocked rank so liveness checks
+// re-run. It is idempotent. The mailbox waiters keep their posted patterns
+// (unlike fail, which voids them): a receive that can still be satisfied by
+// a live sender simply re-parks.
+func (w *World) Kill(rank int) {
+	if w.dead[rank].Swap(true) {
+		return
+	}
+	w.deadCount.Add(1)
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+	w.groups.Lock()
+	for _, g := range w.groups.list {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+	w.groups.Unlock()
+}
+
+// Alive reports whether rank has not crashed.
+func (w *World) Alive(rank int) bool { return !w.dead[rank].Load() }
+
+// DeadRanks returns the sorted list of crashed ranks.
+func (w *World) DeadRanks() []int {
+	var out []int
+	for i := range w.dead {
+		if w.dead[i].Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// deadMembers counts group members currently marked dead.
+func (g *Group) deadMembers() int {
+	n := 0
+	for _, m := range g.members {
+		if g.w.dead[m].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// deadMissing returns the dead group members that have not deposited into
+// the pending op p. Callers hold g.mu.
+func (g *Group) deadMissing(p *pending) []int {
+	var out []int
+	for i, m := range g.members {
+		if !p.mask[i] && g.w.dead[m].Load() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// InjectCycleFaults fires the node faults scheduled for the given phase
+// cycle on this rank, then any time-triggered faults that have come due.
+// The runtime calls it once at the top of every cycle, from the rank's own
+// goroutine — the injection point that makes cycle-triggered crashes
+// deterministic. A crash fault does not return.
+func (c *Comm) InjectCycleFaults(cycle int) {
+	if c.flt == nil {
+		return
+	}
+	for _, f := range c.flt.AtCycle(cycle) {
+		c.applyNodeFault(f, cycle)
+	}
+	c.pollFaults()
+}
+
+// pollFaults fires any time-triggered node faults that have come due at the
+// rank's current virtual time. Called at every communication operation
+// entry, so a timed crash lands at the first op at or after its deadline.
+func (c *Comm) pollFaults() {
+	for {
+		f, ok := c.flt.TimedDue(c.node.Now())
+		if !ok {
+			return
+		}
+		c.applyNodeFault(f, -1)
+	}
+}
+
+// applyNodeFault executes a crash or stall on this rank. Crash marks the
+// rank dead, emits telemetry, and unwinds the goroutine with errCrashed
+// (recovered silently by Run). Neither fault advances any other rank's
+// clock directly, preserving determinism.
+func (c *Comm) applyNodeFault(f fault.Fault, cycle int) {
+	switch f.Kind {
+	case fault.Stall:
+		c.emitFailure("stall", cycle, f.Dur, -1)
+		c.node.WaitUntil(c.node.Now().Add(f.Dur))
+	case fault.Crash:
+		c.emitFailure("crash", cycle, 0, -1)
+		c.w.Kill(c.rank)
+		panic(errCrashed)
+	}
+}
+
+// messageFault consults the rank's per-link fault rules for a send to dst
+// and returns the extra delivery delay (drop = modelled retransmission,
+// delay = added latency). The link's send counter advances exactly once per
+// send, so rule windows are deterministic.
+func (c *Comm) messageFault(dst int) vclock.Duration {
+	kind, extra, hit := c.flt.MessageFault(dst)
+	if !hit {
+		return 0
+	}
+	switch kind {
+	case fault.Drop:
+		c.emitFailure("drop", -1, extra, dst)
+	case fault.Delay:
+		c.emitFailure("delay", -1, extra, dst)
+	}
+	return extra
+}
+
+// emitFailure emits a FailureRecord through the node's telemetry sink, if
+// one is attached.
+func (c *Comm) emitFailure(kind string, cycle int, d vclock.Duration, target int) {
+	sink, st := c.node.Telemetry()
+	if sink == nil {
+		return
+	}
+	sink.Emit(telemetry.FailureRecord{
+		Base:   st.Stamp(telemetry.KindFailure, cycle, c.node.Now().Seconds()),
+		Fault:  kind,
+		Target: target,
+		DelayS: d.Seconds(),
+	})
+}

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/vclock"
 )
 
@@ -168,11 +169,19 @@ type World struct {
 		list  []*Group
 		byKey map[string]*Group
 	}
+
+	// Liveness: dead[r] is set once rank r crashes (injected fault).
+	// deadCount lets hot paths skip the per-rank check with one atomic
+	// load while no rank has died.
+	dead      []atomic.Bool
+	deadCount atomic.Int32
+	flt       *fault.Set // scenario faults; nil when none are injected
 }
 
 // NewWorld creates a world with one rank per cluster node.
 func NewWorld(cl *cluster.Cluster) *World {
-	w := &World{cl: cl, n: cl.N()}
+	w := &World{cl: cl, n: cl.N(), flt: cl.FaultSet()}
+	w.dead = make([]atomic.Bool, w.n)
 	w.boxes = make([]*mailbox, w.n)
 	for i := range w.boxes {
 		b := &mailbox{queues: make(map[uint64]*envQueue)}
@@ -245,6 +254,11 @@ type Comm struct {
 	// each collective copies its result out before returning.
 	sbuf []float64
 	sbox any
+
+	// flt is this rank's injected-fault state; nil when the scenario has
+	// no faults for this node, which keeps the hot-path cost to one nil
+	// check per operation.
+	flt *fault.NodeState
 }
 
 // NewComm returns rank r's endpoint. Typically Run constructs these.
@@ -252,6 +266,7 @@ func (w *World) NewComm(r int) *Comm {
 	c := &Comm{w: w, rank: r, node: w.cl.Node(r)}
 	c.sbuf = make([]float64, 1)
 	c.sbox = c.sbuf
+	c.flt = w.flt.Node(r)
 	return c
 }
 
@@ -294,6 +309,11 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 	if dst < 0 || dst >= c.w.n {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
+	var faultDelay vclock.Duration
+	if c.flt != nil {
+		c.pollFaults()
+		faultDelay = c.messageFault(dst)
+	}
 	net := c.w.cl.Net()
 	c.node.Compute(cpuCost(net, bytes))
 	env := envelope{
@@ -301,7 +321,7 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 		tag:     tag,
 		payload: payload,
 		bytes:   bytes,
-		avail:   c.node.Now().Add(wireTime(net, bytes)),
+		avail:   c.node.Now().Add(wireTime(net, bytes) + faultDelay),
 	}
 	c.SentMsgs++
 	c.SentBytes += int64(bytes)
@@ -338,8 +358,31 @@ type Status struct {
 // the payload. src may be AnySource and tag AnyTag; note that AnySource
 // matching order depends on physical goroutine scheduling and is therefore
 // only deterministic when at most one candidate sender exists.
+//
+// If src is a crashed rank and no matching message is queued, Recv fails
+// the whole world (bounded waiting); callers that can survive a dead peer
+// should use RecvErr.
 func (c *Comm) Recv(src, tag int) (any, Status) {
+	p, st, err := c.RecvErr(src, tag)
+	if err != nil {
+		c.w.fail(fmt.Errorf("rank %d: %w", c.rank, err))
+		panic(errFailed)
+	}
+	return p, st
+}
+
+// RecvErr is Recv with bounded waiting under failures: when src is known
+// dead and no matching message is queued, it returns a *RankFailedError
+// instead of blocking forever. Messages src sent before crashing are still
+// delivered first — the dead check only fires on a queue miss, and a
+// crashed rank's sends complete before its death is published (same
+// goroutine), so the error is deterministic in virtual time. An AnySource
+// receive never fails this way: any live rank could still send.
+func (c *Comm) RecvErr(src, tag int) (any, Status, error) {
 	c.checkFailed()
+	if c.flt != nil {
+		c.pollFaults()
+	}
 	box := c.w.boxes[c.rank]
 	box.mu.Lock()
 	var env envelope
@@ -352,6 +395,11 @@ func (c *Comm) Recv(src, tag int) (any, Status) {
 			box.mu.Unlock()
 			panic(errFailed)
 		}
+		if src != AnySource && c.w.deadCount.Load() > 0 && c.w.dead[src].Load() {
+			box.waiting = false
+			box.mu.Unlock()
+			return nil, Status{}, &RankFailedError{Op: "recv", Ranks: []int{src}}
+		}
 		box.wantSrc, box.wantTag = src, tag
 		box.waiting = true
 		box.cond.Wait()
@@ -362,7 +410,7 @@ func (c *Comm) Recv(src, tag int) (any, Status) {
 	c.node.Compute(cpuCost(c.w.cl.Net(), env.bytes))
 	c.RecvMsgs++
 	c.RecvBytes += int64(env.bytes)
-	return env.payload, Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}
+	return env.payload, Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}, nil
 }
 
 // RecvF64s receives a []float64 payload, panicking on type mismatch.
@@ -403,8 +451,13 @@ func (w *World) Run(fn func(*Comm) error) error {
 			comm := w.NewComm(rank)
 			defer func() {
 				if p := recover(); p != nil {
-					if err, ok := p.(error); ok && errors.Is(err, errFailed) {
-						return // unwound by another rank's failure
+					if err, ok := p.(error); ok {
+						if errors.Is(err, errFailed) {
+							return // unwound by another rank's failure
+						}
+						if errors.Is(err, errCrashed) {
+							return // injected crash: this rank simply stops
+						}
 					}
 					w.fail(fmt.Errorf("rank %d panicked: %v", rank, p))
 				}
@@ -449,6 +502,7 @@ type pending struct {
 	arrived  int
 	times    []vclock.Time
 	contribs []any
+	mask     []bool // mask[slot]: member has deposited (failure detection)
 }
 
 type opResult struct {
@@ -456,7 +510,8 @@ type opResult struct {
 	finish    vclock.Time
 	cpuEach   vclock.Duration
 	remaining int
-	pooled    bool // value came from f64Pool; recycle when the op drains
+	pooled    bool  // value came from f64Pool; recycle when the op drains
+	err       error // collective failed: a group member died before depositing
 }
 
 // getPending returns a recycled (or new) pending op sized for the group.
@@ -466,11 +521,15 @@ func (g *Group) getPending() *pending {
 		p := g.freePending[n-1]
 		g.freePending = g.freePending[:n-1]
 		p.arrived = 0
+		for i := range p.mask {
+			p.mask[i] = false
+		}
 		return p
 	}
 	return &pending{
 		times:    make([]vclock.Time, len(g.members)),
 		contribs: make([]any, len(g.members)),
+		mask:     make([]bool, len(g.members)),
 	}
 }
 
@@ -586,9 +645,30 @@ func (c *Comm) rendezvous(g *Group, contrib any, reduce reduceFn) any {
 // non-nil the []float64 result is copied into dst *under the group lock*
 // (before the op is released), so pooled result vectors can be recycled the
 // moment the last member leaves without racing a slow reader. pooled marks
-// the reduction's result vector as owned by g.f64Pool.
+// the reduction's result vector as owned by g.f64Pool. A collective failure
+// (dead group member) fails the whole world; use rendezvousErr to survive.
 func (c *Comm) rendezvousInto(g *Group, contrib any, reduce reduceFn, dst []float64, pooled bool) any {
+	value, err := c.rendezvousErr(g, contrib, reduce, dst, pooled)
+	if err != nil {
+		c.w.fail(fmt.Errorf("rank %d: %w", c.rank, err))
+		panic(errFailed)
+	}
+	return value
+}
+
+// rendezvousErr is the failure-aware collective core. When a group member
+// is dead and has not deposited its contribution, every surviving member
+// leaves the op with a *RankFailedError naming the dead rank(s), at its own
+// deposit time and with no clock advance — the collective never completed,
+// so it charges nothing. The error is computed once per op (by the first
+// waiter to observe the death) and shared, so all survivors agree on it. A
+// member that dies *inside* the op is impossible: injected crashes fire at
+// operation entry, before the deposit.
+func (c *Comm) rendezvousErr(g *Group, contrib any, reduce reduceFn, dst []float64, pooled bool) (any, error) {
 	c.checkFailed()
+	if c.flt != nil {
+		c.pollFaults()
+	}
 	slot, ok := g.slot[c.rank]
 	if !ok {
 		panic(fmt.Sprintf("mpi: rank %d not in group", c.rank))
@@ -604,6 +684,7 @@ func (c *Comm) rendezvousInto(g *Group, contrib any, reduce reduceFn, dst []floa
 	}
 	p.times[slot] = c.node.Now()
 	p.contribs[slot] = contrib
+	p.mask[slot] = true
 	p.arrived++
 	if p.arrived == len(g.members) {
 		// Run the reduction outside the lock: every contribution is in and
@@ -629,10 +710,41 @@ func (c *Comm) rendezvousInto(g *Group, contrib any, reduce reduceFn, dst []floa
 				g.mu.Unlock()
 				panic(errFailed)
 			}
+			if c.w.deadCount.Load() > 0 {
+				if missing := g.deadMissing(p); len(missing) != 0 {
+					r := g.getResult()
+					r.err = &RankFailedError{Op: "collective", Ranks: missing}
+					// Only live members will claim this result. A member
+					// that dies after this count is taken leaks one
+					// opResult for the op — bounded, and never a deadlock.
+					r.remaining = len(g.members) - g.deadMembers()
+					g.results[seq] = r
+					g.cond.Broadcast()
+					break
+				}
+			}
 			g.cond.Wait()
 		}
 	}
 	r := g.results[seq]
+	if r.err != nil {
+		err := r.err
+		r.remaining--
+		if r.remaining == 0 {
+			delete(g.results, seq)
+			// The pending op is still registered (the op never completed);
+			// recycle it with the result.
+			if fp := g.collecting[seq]; fp != nil {
+				delete(g.collecting, seq)
+				g.putPending(fp)
+			}
+			r.err = nil
+			r.value = nil
+			g.freeResults = append(g.freeResults, r)
+		}
+		g.mu.Unlock()
+		return nil, err
+	}
 	value, finish, cpuEach := r.value, r.finish, r.cpuEach
 	if dst != nil {
 		copy(dst, value.([]float64))
@@ -654,7 +766,7 @@ func (c *Comm) rendezvousInto(g *Group, contrib any, reduce reduceFn, dst []floa
 	if cpuEach > 0 {
 		c.node.Compute(cpuEach)
 	}
-	return value
+	return value, nil
 }
 
 // safeReduce runs a reduction, converting panics into errors.
@@ -679,21 +791,43 @@ func maxTime(ts []vclock.Time) vclock.Time {
 	return m
 }
 
-// Barrier synchronises the group.
-func (c *Comm) Barrier(g *Group) {
+// barrierReduce builds the barrier's reduction closure.
+func (c *Comm) barrierReduce(g *Group) reduceFn {
 	net := c.w.cl.Net()
 	steps := g.steps()
-	c.rendezvous(g, nil, func(ts []vclock.Time, _ []any) (any, vclock.Time, vclock.Duration) {
+	return func(ts []vclock.Time, _ []any) (any, vclock.Time, vclock.Duration) {
 		finish := maxTime(ts).Add(vclock.Duration(steps) * net.Latency)
 		return nil, finish, vclock.Duration(steps) * net.CPUPerMsg
-	})
+	}
+}
+
+// Barrier synchronises the group.
+func (c *Comm) Barrier(g *Group) {
+	c.rendezvous(g, nil, c.barrierReduce(g))
+}
+
+// BarrierErr is Barrier returning an error instead of failing the world
+// when a group member is dead.
+func (c *Comm) BarrierErr(g *Group) error {
+	_, err := c.rendezvousErr(g, nil, c.barrierReduce(g), nil, false)
+	return err
+}
+
+// bcastReduce builds the broadcast closure: the result is the root slot's
+// contribution, delivered along a binomial tree of the given depth.
+func (c *Comm) bcastReduce(g *Group, rootSlot, bytes int) reduceFn {
+	net := c.w.cl.Net()
+	steps := g.steps()
+	return func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
+		per := wireTime(net, bytes)
+		finish := maxTime(ts).Add(vclock.Duration(steps) * per)
+		return contribs[rootSlot], finish, vclock.Duration(steps) * cpuCost(net, bytes)
+	}
 }
 
 // Bcast distributes the root's payload (of the given wire size) to every
 // group member and returns it. root is a world rank.
 func (c *Comm) Bcast(g *Group, root int, payload any, bytes int) any {
-	net := c.w.cl.Net()
-	steps := g.steps()
 	rootSlot, ok := g.slot[root]
 	if !ok {
 		panic(fmt.Sprintf("mpi: bcast root %d not in group", root))
@@ -702,11 +836,22 @@ func (c *Comm) Bcast(g *Group, root int, payload any, bytes int) any {
 	if c.rank == root {
 		contrib = payload
 	}
-	return c.rendezvous(g, contrib, func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
-		per := wireTime(net, bytes)
-		finish := maxTime(ts).Add(vclock.Duration(steps) * per)
-		return contribs[rootSlot], finish, vclock.Duration(steps) * cpuCost(net, bytes)
-	})
+	return c.rendezvous(g, contrib, c.bcastReduce(g, rootSlot, bytes))
+}
+
+// BcastErr is Bcast returning an error instead of failing the world when a
+// group member is dead. If the root itself died the error names it and no
+// payload is delivered.
+func (c *Comm) BcastErr(g *Group, root int, payload any, bytes int) (any, error) {
+	rootSlot, ok := g.slot[root]
+	if !ok {
+		panic(fmt.Sprintf("mpi: bcast root %d not in group", root))
+	}
+	var contrib any
+	if c.rank == root {
+		contrib = payload
+	}
+	return c.rendezvousErr(g, contrib, c.bcastReduce(g, rootSlot, bytes), nil, false)
 }
 
 // BcastF64sInto distributes the root's buf contents into every member's buf
@@ -764,16 +909,14 @@ func (c *Comm) allreduceF64s(g *Group, vals []float64, op func(a, b float64) flo
 	return c.allreduceF64sBoxed(g, vals, vals, op, dst)
 }
 
-// allreduceF64sBoxed is the common reduction core. contrib must box the same
-// slice as vals (callers with a pre-boxed scratch pass it to avoid the
-// per-op interface allocation). When dst is non-nil the result is copied
-// into dst under the group lock and the shared vector is recycled.
-func (c *Comm) allreduceF64sBoxed(g *Group, vals []float64, contrib any, op func(a, b float64) float64, dst []float64) any {
+// allreduceReduce builds the element-wise reduction closure shared by the
+// plain and Err allreduce entry points. n is the vector length (fixes the
+// wire size); pooled selects a pooled result vector.
+func (c *Comm) allreduceReduce(g *Group, n int, op func(a, b float64) float64, pooled bool) reduceFn {
 	net := c.w.cl.Net()
 	steps := g.steps()
-	bytes := F64Bytes(len(vals))
-	pooled := dst != nil
-	return c.rendezvousInto(g, contrib, func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
+	bytes := F64Bytes(n)
+	return func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
 		first := contribs[0].([]float64)
 		var out []float64
 		if pooled {
@@ -794,7 +937,16 @@ func (c *Comm) allreduceF64sBoxed(g *Group, vals []float64, contrib any, op func
 		per := wireTime(net, bytes)
 		finish := maxTime(ts).Add(vclock.Duration(steps) * per)
 		return out, finish, vclock.Duration(steps) * cpuCost(net, bytes)
-	}, dst, pooled)
+	}
+}
+
+// allreduceF64sBoxed is the common reduction core. contrib must box the same
+// slice as vals (callers with a pre-boxed scratch pass it to avoid the
+// per-op interface allocation). When dst is non-nil the result is copied
+// into dst under the group lock and the shared vector is recycled.
+func (c *Comm) allreduceF64sBoxed(g *Group, vals []float64, contrib any, op func(a, b float64) float64, dst []float64) any {
+	pooled := dst != nil
+	return c.rendezvousInto(g, contrib, c.allreduceReduce(g, len(vals), op, pooled), dst, pooled)
 }
 
 // Sum and Max are common allreduce operators.
@@ -822,12 +974,51 @@ func (c *Comm) AllreduceMax(g *Group, v float64) float64 {
 	return c.sbuf[0]
 }
 
-// Allgather collects every member's contribution, ordered by group slot,
-// on every member. bytes is the wire size of one contribution.
-func (c *Comm) Allgather(g *Group, contrib any, bytes int) []any {
+// AllreduceF64sErr is AllreduceF64s returning an error instead of failing
+// the world when a group member is dead. On error nothing was reduced and
+// vals is untouched, so the caller may retry over a rebuilt group.
+func (c *Comm) AllreduceF64sErr(g *Group, vals []float64, op func(a, b float64) float64) ([]float64, error) {
+	res, err := c.rendezvousErr(g, vals, c.allreduceReduce(g, len(vals), op, false), nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return res.([]float64), nil
+}
+
+// AllreduceF64sIntoErr is AllreduceF64sInto returning an error instead of
+// failing the world when a group member is dead. On error buf is untouched
+// (the copy-out happens only on success), so the caller may retry.
+func (c *Comm) AllreduceF64sIntoErr(g *Group, buf []float64, op func(a, b float64) float64) error {
+	_, err := c.rendezvousErr(g, buf, c.allreduceReduce(g, len(buf), op, true), buf, true)
+	return err
+}
+
+// AllreduceSumErr is AllreduceSum returning an error instead of failing the
+// world when a group member is dead.
+func (c *Comm) AllreduceSumErr(g *Group, v float64) (float64, error) {
+	c.sbuf[0] = v
+	if _, err := c.rendezvousErr(g, c.sbox, c.allreduceReduce(g, 1, Sum, true), c.sbuf, true); err != nil {
+		return 0, err
+	}
+	return c.sbuf[0], nil
+}
+
+// AllreduceMaxErr is AllreduceMax returning an error instead of failing the
+// world when a group member is dead.
+func (c *Comm) AllreduceMaxErr(g *Group, v float64) (float64, error) {
+	c.sbuf[0] = v
+	if _, err := c.rendezvousErr(g, c.sbox, c.allreduceReduce(g, 1, Max, true), c.sbuf, true); err != nil {
+		return 0, err
+	}
+	return c.sbuf[0], nil
+}
+
+// allgatherReduce builds the allgather closure: the result is a slot-ordered
+// copy of the contributions.
+func (c *Comm) allgatherReduce(g *Group, bytes int) reduceFn {
 	net := c.w.cl.Net()
 	steps := g.steps()
-	res := c.rendezvous(g, contrib, func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
+	return func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
 		out := append([]any(nil), contribs...)
 		// Recursive doubling: in step k each node exchanges 2^k
 		// contributions, so the dominant cost is the last step carrying
@@ -836,8 +1027,24 @@ func (c *Comm) Allgather(g *Group, contrib any, bytes int) []any {
 		per := wireTime(net, total/2+bytes)
 		finish := maxTime(ts).Add(vclock.Duration(steps) * per)
 		return out, finish, vclock.Duration(steps) * cpuCost(net, total/2+bytes)
-	})
+	}
+}
+
+// Allgather collects every member's contribution, ordered by group slot,
+// on every member. bytes is the wire size of one contribution.
+func (c *Comm) Allgather(g *Group, contrib any, bytes int) []any {
+	res := c.rendezvous(g, contrib, c.allgatherReduce(g, bytes))
 	return res.([]any)
+}
+
+// AllgatherErr is Allgather returning an error instead of failing the
+// world when a group member is dead.
+func (c *Comm) AllgatherErr(g *Group, contrib any, bytes int) ([]any, error) {
+	res, err := c.rendezvousErr(g, contrib, c.allgatherReduce(g, bytes), nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return res.([]any), nil
 }
 
 // AllgatherF64 gathers one float64 per member, ordered by slot.

@@ -187,6 +187,10 @@ func DecodeJSONL(r io.Reader) ([]Record, error) {
 			var v LoadEventRecord
 			err = json.Unmarshal(raw, &v)
 			rec = v
+		case KindFailure:
+			var v FailureRecord
+			err = json.Unmarshal(raw, &v)
+			rec = v
 		default:
 			return nil, fmt.Errorf("telemetry: line %d: unknown kind %q", line, base.K)
 		}

@@ -27,6 +27,7 @@ type Summary struct {
 	BytesSent   int64
 	Memberships []MembershipRecord // in trace order
 	LoadEvents  []LoadEventRecord  // in trace order
+	Failures    []FailureRecord    // in trace order
 }
 
 // Summarize aggregates a record stream.
@@ -57,6 +58,8 @@ func Summarize(recs []Record) *Summary {
 			s.Memberships = append(s.Memberships, v)
 		case LoadEventRecord:
 			s.LoadEvents = append(s.LoadEvents, v)
+		case FailureRecord:
+			s.Failures = append(s.Failures, v)
 		}
 	}
 	for _, ns := range byNode {
@@ -96,5 +99,9 @@ func (s *Summary) WriteTable(w io.Writer) {
 	for _, e := range s.LoadEvents {
 		fmt.Fprintf(w, "  load event: cycle %d node %d delta %+d -> %d CPs\n",
 			e.Cycle, e.Node, e.Delta, e.Count)
+	}
+	for _, f := range s.Failures {
+		fmt.Fprintf(w, "  failure: cycle %d node %d %s target=%d delay=%.3fs\n",
+			f.Cycle, f.Node, f.Fault, f.Target, f.DelayS)
 	}
 }

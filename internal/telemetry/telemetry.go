@@ -30,6 +30,7 @@ const (
 	KindMembership = "membership"
 	KindLoadSample = "load-sample"
 	KindLoadEvent  = "load-event"
+	KindFailure    = "failure"
 )
 
 // Record is one structured telemetry event.
@@ -119,16 +120,18 @@ type RedistRecord struct {
 	Arrays     []ArrayMove `json:"arrays,omitempty"`
 	RowsSent   int         `json:"rows_sent"`
 	BytesSent  int64       `json:"bytes_sent"`
-	BytesMoved int64       `json:"bytes_moved"` // sent + received by this node
-	Counts     []int       `json:"counts"`      // installed per-node iteration counts
+	BytesMoved int64       `json:"bytes_moved"`         // sent + received by this node
+	Counts     []int       `json:"counts"`              // installed per-node iteration counts
+	LostRows   int         `json:"lost_rows,omitempty"` // rows declared lost by a failure recovery
 }
 
 // MembershipRecord describes a change of the active node set: a physical
-// drop, a logical drop, a removal (emitted by the node leaving) or a
-// rejoin. Remap is the new relative-rank mapping: Remap[rel] = world rank.
+// drop, a logical drop, a removal (emitted by the node leaving), a rejoin,
+// or a forced drop after a detected failure ("failure-drop"). Remap is the
+// new relative-rank mapping: Remap[rel] = world rank.
 type MembershipRecord struct {
 	Base
-	Change  string `json:"change"` // "drop", "logical-drop", "removed", "rejoin", "rejoined"
+	Change  string `json:"change"` // "drop", "logical-drop", "removed", "rejoin", "rejoined", "failure-drop"
 	Active  []int  `json:"active"`
 	Removed []int  `json:"removed,omitempty"`
 	Remap   []int  `json:"remap"` // relative rank -> world rank
@@ -146,6 +149,17 @@ type LoadEventRecord struct {
 	Base
 	Delta int `json:"delta"` // +1 CP started, -1 CP stopped
 	Count int `json:"count"` // CP count after the change
+}
+
+// FailureRecord marks an injected fault firing on the emitting node: a
+// crash or stall of the node itself, or a drop/delay on one of its outgoing
+// links. Failure records never appear in fault-free runs, so their fields
+// are always present in JSONL output.
+type FailureRecord struct {
+	Base
+	Fault  string  `json:"fault"`   // "crash", "stall", "drop", "delay"
+	Target int     `json:"target"`  // destination rank for message faults, -1 otherwise
+	DelayS float64 `json:"delay_s"` // stall length / added delivery delay, in seconds
 }
 
 // Sort orders records by (virtual time, node, per-node sequence), the
