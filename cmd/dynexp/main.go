@@ -10,7 +10,8 @@
 //	dynexp alloc       — §4.1 projection vs contiguous allocation
 //	dynexp microbench  — §4.3 pair-fraction table and method comparison
 //	dynexp trace       — canonical loaded-4-node run with structured telemetry
-//	dynexp all         — everything above (except trace)
+//	dynexp scale       — large-world collective soak (64/256/1024 ranks)
+//	dynexp all         — everything above (except trace and scale)
 //
 // The -paper flag selects the paper's original input sizes (slower); the
 // default scaled inputs preserve the computation/communication ratios (see
@@ -51,7 +52,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] [-fault specs] [-replicate] [-replica-every n] [-cpuprofile f] [-memprofile f] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|all}\n")
+	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] [-fault specs] [-replicate] [-replica-every n] [-scale-n n] [-cpuprofile f] [-memprofile f] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|scale|all}\n")
 	os.Exit(2)
 }
 
@@ -63,6 +64,7 @@ func main() {
 	faultSpecs := flag.String("fault", "", "';'-separated fault specs to inject, e.g. 'crash:node=2,cycle=12' (trace subcommand)")
 	replicate := flag.Bool("replicate", false, "enable dense-array buddy replication for crash recovery (trace subcommand)")
 	replicaEvery := flag.Int("replica-every", 0, "refresh buddy replicas every n cycles (0 = only at redistributions)")
+	scaleN := flag.Int("scale-n", 0, "run the scale soak at this single world size (0 = the default 64/256/1024 ladder)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiment(s) to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	flag.Usage = usage
@@ -225,6 +227,30 @@ func main() {
 				telemetry.Summarize(r.Records).WriteTable(os.Stdout)
 			}
 			fmt.Printf("  elapsed %.3fs virtual, %d redistributions\n", r.Res.Elapsed, r.Res.Redists)
+		case "scale":
+			o := exp.DefaultScaleOptions()
+			if *scaleN > 0 {
+				o.Sizes = []int{*scaleN}
+			}
+			r, err := exp.RunScale(o)
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			if *traceFile != "" {
+				f, err := os.Create(*traceFile)
+				if err != nil {
+					return err
+				}
+				if err := telemetry.WriteJSONL(f, r.Records); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("  wrote %d records to %s\n", len(r.Records), *traceFile)
+			}
 		default:
 			usage()
 		}

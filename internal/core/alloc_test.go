@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/cluster"
@@ -45,5 +46,83 @@ func TestNilSinkHotPathsAllocFree(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestExchangeLoadsAllocFree pins the load-exchange fast path: with no
+// removed-node sidecar in flight, the per-cycle allgather of load readings
+// rides the pooled float64 collective and must not allocate in steady state.
+// The single-member case is exact (AllocsPerRun); the multi-rank case is
+// checked loosely below because concurrent rank goroutines share the heap.
+func TestExchangeLoadsAllocFree(t *testing.T) {
+	err := mpi.Run(cluster.New(cluster.Uniform(1)), func(c *mpi.Comm) error {
+		rt := New(c, DefaultConfig())
+		rt.RegisterDense("X", 64, 4)
+		ph := rt.InitPhase(64)
+		ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+		rt.Commit()
+
+		if _, _, _, err := rt.exchangeLoads(); err != nil { // warm the scratch buffers
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			if _, _, _, err := rt.exchangeLoads(); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("steady-state exchangeLoads allocated %v times per cycle, want 0", n)
+		}
+		rt.Finalize()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExchangeLoadsMultiRankAllocBudget bounds the whole-world allocation
+// rate of the steady-state load exchange across four ranks. The pooled
+// allgather makes each cycle allocation-free per rank once warm; the budget
+// of 2 mallocs per rank-cycle absorbs scheduler noise while still failing
+// loudly if the exchange regresses to boxing contributions again.
+func TestExchangeLoadsMultiRankAllocBudget(t *testing.T) {
+	const cycles = 200
+	var mallocs uint64
+	err := mpi.Run(cluster.New(cluster.Uniform(4)), func(c *mpi.Comm) error {
+		rt := New(c, DefaultConfig())
+		rt.RegisterDense("X", 256, 4)
+		ph := rt.InitPhase(256)
+		ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+		rt.Commit()
+
+		for i := 0; i < 3; i++ { // warm pools on every rank
+			if _, _, _, err := rt.exchangeLoads(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var before, after runtime.MemStats
+		if c.Rank() == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+		}
+		c.Barrier(c.World().AllGroup())
+		for i := 0; i < cycles; i++ {
+			if _, _, _, err := rt.exchangeLoads(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Barrier(c.World().AllGroup())
+		if c.Rank() == 0 {
+			runtime.ReadMemStats(&after)
+			mallocs = after.Mallocs - before.Mallocs
+		}
+		rt.Finalize()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget := uint64(2 * 4 * cycles); mallocs > budget {
+		t.Errorf("4-rank load exchange allocated %d times over %d cycles, budget %d", mallocs, cycles, budget)
 	}
 }

@@ -254,6 +254,13 @@ type Runtime struct {
 	destBuf  []int
 	outsBuf  []redistOut
 
+	// Load-exchange scratch: the per-cycle allgather of load readings goes
+	// through the pooled float64 collective when no removed-node sidecar is
+	// in flight, and these buffers keep that exchange allocation-free. Every
+	// consumer of the returned load vector copies it before retaining.
+	loadBuf  []float64
+	loadInts []int
+
 	// Telemetry state (sink == nil disables everything).
 	sink      telemetry.Sink
 	stamper   *telemetry.Stamper

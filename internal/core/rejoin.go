@@ -79,6 +79,32 @@ func (rt *Runtime) pollRemoved() []int {
 // enabled, the removed nodes' loads via the root — so all active ranks see
 // an identical picture.
 func (rt *Runtime) exchangeLoads() (active []int, removedRanks, removedLoads []int, err error) {
+	// Fast path: with no removed-node sidecar to carry, every contribution
+	// is a bare load reading, so the exchange rides the pooled float64
+	// allgather instead of boxing a loadMsg per member per cycle. The wire
+	// price (8 bytes per member) and the collective tree are identical to
+	// the boxed path, so virtual timestamps — and the golden traces — do
+	// not move.
+	if !rt.cfg.AllowRejoin || len(rt.removed) == 0 {
+		n := rt.group.Size()
+		if cap(rt.loadBuf) < n {
+			rt.loadBuf = make([]float64, n)
+		}
+		buf := rt.loadBuf[:n]
+		err := rt.comm.AllgatherF64sIntoErr(rt.group, float64(rt.monitor.CompetingProcesses()), buf)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if cap(rt.loadInts) < n {
+			rt.loadInts = make([]int, n)
+		}
+		active = rt.loadInts[:n]
+		for i, v := range buf {
+			active[i] = int(v)
+		}
+		return active, nil, nil, nil
+	}
+
 	my := loadMsg{Load: rt.monitor.CompetingProcesses()}
 	if rt.cfg.AllowRejoin && rt.comm.Rank() == rt.sendOutRoot() && len(rt.removed) > 0 {
 		my.RemovedRanks = append([]int(nil), rt.removed...)

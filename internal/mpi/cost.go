@@ -1,0 +1,105 @@
+package mpi
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/vclock"
+)
+
+// This file is the collective cost model: one named function per collective,
+// each charging the wire time and per-member CPU of the tree the virtual
+// implementation models. The shapes (and the exact arithmetic, which the
+// golden traces pin byte-for-byte) are:
+//
+//	barrier    dissemination (butterfly): steps rounds of zero-byte pairwise
+//	           notifications — steps*Latency wire, steps*CPUPerMsg CPU.
+//	bcast      binomial tree rooted at the source: steps rounds each moving
+//	           the full payload one level deeper.
+//	allreduce  recursive doubling: steps rounds of pairwise exchange of the
+//	           full vector, combine after each round — the same per-step
+//	           charge as bcast.
+//	allgather  recursive doubling: round k exchanges 2^k contributions, so
+//	           the model conservatively charges every round at the dominant
+//	           final-round volume (half the total payload plus one block).
+//	gather     root-terminated binomial tree (recursive halving): round k
+//	           ships 2^k-block aggregates toward the root, so across the
+//	           whole tree exactly n-1 blocks cross the wire — per-byte work
+//	           scales with n-1, not steps*n/2 as the allgather does. Prior
+//	           to this model Gather was priced as a full Allgather.
+//
+// steps is the tree depth ceil(log2 n). The small-n cross-check tests
+// (crosscheck_test.go) validate each closed form against a per-message
+// Send/Recv simulation of the same tree; the property tests
+// (costmodel_test.go) pin monotonicity in group size and payload bytes.
+
+// treeSteps returns ceil(log2(n)), the depth of the modelled trees.
+func treeSteps(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	s := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		s++
+	}
+	return s
+}
+
+// collCost is the virtual charge of one collective: wire extends the
+// group's common completion time past the last arrival, and cpuEach is
+// charged to every member's CPU clock after the rendezvous (and is
+// therefore inflated by competing processes, like any CPU work).
+type collCost struct {
+	wire    vclock.Duration
+	cpuEach vclock.Duration
+}
+
+// barrierCost prices the dissemination barrier.
+func barrierCost(net cluster.NetParams, n int) collCost {
+	steps := vclock.Duration(treeSteps(n))
+	return collCost{wire: steps * net.Latency, cpuEach: steps * net.CPUPerMsg}
+}
+
+// bcastCost prices the binomial-tree broadcast of a bytes-sized payload.
+func bcastCost(net cluster.NetParams, n, bytes int) collCost {
+	steps := vclock.Duration(treeSteps(n))
+	return collCost{
+		wire:    steps * wireTime(net, bytes),
+		cpuEach: steps * cpuCost(net, bytes),
+	}
+}
+
+// allreduceCost prices the recursive-doubling allreduce of a bytes-sized
+// vector: every round moves the full vector, so the charge matches bcast.
+func allreduceCost(net cluster.NetParams, n, bytes int) collCost {
+	steps := vclock.Duration(treeSteps(n))
+	return collCost{
+		wire:    steps * wireTime(net, bytes),
+		cpuEach: steps * cpuCost(net, bytes),
+	}
+}
+
+// allgatherCost prices the recursive-doubling allgather of one bytes-sized
+// contribution per member. Round k exchanges 2^k contributions; the model
+// charges every round at the dominant final-round volume (total/2 + bytes),
+// a deliberate over-approximation the existing golden traces pin.
+func allgatherCost(net cluster.NetParams, n, bytes int) collCost {
+	steps := vclock.Duration(treeSteps(n))
+	total := bytes * n
+	return collCost{
+		wire:    steps * wireTime(net, total/2+bytes),
+		cpuEach: steps * cpuCost(net, total/2+bytes),
+	}
+}
+
+// gatherCost prices the root-terminated binomial gather: latency is paid
+// once per tree level, but only n-1 contribution blocks cross the wire in
+// total (recursive halving toward the root), so the per-byte component
+// scales with n-1 — strictly cheaper than the allgather for n >= 2 with a
+// non-empty payload.
+func gatherCost(net cluster.NetParams, n, bytes int) collCost {
+	steps := treeSteps(n)
+	vol := float64((n - 1) * bytes)
+	return collCost{
+		wire:    vclock.Duration(steps)*net.Latency + vclock.FromSeconds(vol/net.BytesPerSec),
+		cpuEach: vclock.Duration(steps)*net.CPUPerMsg + vclock.Duration(vol*net.CPUPerByte),
+	}
+}

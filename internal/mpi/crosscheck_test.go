@@ -1,0 +1,184 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/vclock"
+)
+
+// This file cross-validates the closed-form collective cost model (cost.go)
+// against per-message Send/Recv simulations of the very trees the model
+// claims to price. The interconnect is configured with zero per-message and
+// per-byte CPU cost, so a simulated tree's completion time is purely wire
+// time and directly comparable to the model's wire component:
+//
+//	bcast      binomial tree — exact for power-of-two groups
+//	allreduce  recursive doubling — exact for power-of-two groups
+//	gather     recursive halving toward the root — exact for power-of-two
+//	allgather  recursive doubling with doubling block sizes — the model's
+//	           every-round-at-final-volume charge is a deliberate
+//	           over-approximation, so it is only bounded, not matched
+//
+// Non-power group sizes are charged at ceil(log2 n) tree depth, which can
+// only over-approximate the simulated trees; the exactness assertions
+// therefore run on powers of two and the bound assertions on the rest.
+
+// wireNet is the default interconnect with CPU costs zeroed.
+func wireNet() cluster.NetParams {
+	net := cluster.DefaultNet()
+	net.CPUPerMsg = 0
+	net.CPUPerByte = 0
+	return net
+}
+
+// simTree runs fn on an n-rank world over wireNet and returns the latest
+// finish time across ranks — the per-message tree's completion time.
+func simTree(t *testing.T, n int, fn func(c *Comm, rank int)) vclock.Duration {
+	t.Helper()
+	spec := cluster.Uniform(n)
+	spec.Net = wireNet()
+	finish := make([]vclock.Time, n)
+	if err := Run(cluster.New(spec), func(c *Comm) error {
+		fn(c, c.Rank())
+		finish[c.Rank()] = c.Now()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var last vclock.Time
+	for _, f := range finish {
+		if f > last {
+			last = f
+		}
+	}
+	return last.Sub(0)
+}
+
+// simBcast runs a per-message binomial-tree broadcast from rank 0.
+func simBcast(t *testing.T, n, bytes int) vclock.Duration {
+	steps := treeSteps(n)
+	return simTree(t, n, func(c *Comm, rank int) {
+		// Low-bit-first doubling: in round s every rank below 2^s already
+		// holds the payload and forwards it to rank+2^s.
+		for s := 0; s < steps; s++ {
+			bit := 1 << s
+			if rank < bit {
+				if rank+bit < n {
+					c.Send(rank+bit, s, nil, bytes)
+				}
+			} else if rank < bit<<1 {
+				c.Recv(rank-bit, s)
+			}
+		}
+	})
+}
+
+// simAllreduce runs a per-message recursive-doubling exchange (n must be a
+// power of two); every round moves the full vector both ways.
+func simAllreduce(t *testing.T, n, bytes int) vclock.Duration {
+	steps := treeSteps(n)
+	return simTree(t, n, func(c *Comm, rank int) {
+		for s := 0; s < steps; s++ {
+			peer := rank ^ (1 << s)
+			c.Send(peer, s, nil, bytes)
+			c.Recv(peer, s)
+		}
+	})
+}
+
+// simGather runs a per-message recursive-halving gather toward rank 0 (n
+// must be a power of two); round s ships 2^s-block aggregates.
+func simGather(t *testing.T, n, bytes int) vclock.Duration {
+	steps := treeSteps(n)
+	return simTree(t, n, func(c *Comm, rank int) {
+		for s := 0; s < steps; s++ {
+			bit := 1 << s
+			group := bit<<1 - 1
+			if rank&group == bit {
+				c.Send(rank-bit, s, nil, bit*bytes)
+				return
+			}
+			if rank&group == 0 && rank+bit < n {
+				c.Recv(rank+bit, s)
+			}
+		}
+	})
+}
+
+// simAllgather runs a per-message recursive-doubling allgather (n must be a
+// power of two); round s exchanges 2^s contribution blocks both ways.
+func simAllgather(t *testing.T, n, bytes int) vclock.Duration {
+	steps := treeSteps(n)
+	return simTree(t, n, func(c *Comm, rank int) {
+		for s := 0; s < steps; s++ {
+			peer := rank ^ (1 << s)
+			c.Send(peer, s, nil, (1<<s)*bytes)
+			c.Recv(peer, s)
+		}
+	})
+}
+
+func TestBcastCostMatchesPerMessageTree(t *testing.T) {
+	net := wireNet()
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, bytes := range []int{8, 4096} {
+			sim := simBcast(t, n, bytes)
+			model := bcastCost(net, n, bytes).wire
+			if sim != model {
+				t.Errorf("n=%d bytes=%d: simulated binomial bcast %v, model %v", n, bytes, sim, model)
+			}
+		}
+	}
+	// Non-powers: the ceil-depth charge may only over-approximate.
+	for _, n := range []int{3, 5, 6, 7, 12} {
+		sim := simBcast(t, n, 1024)
+		model := bcastCost(net, n, 1024).wire
+		if sim > model {
+			t.Errorf("n=%d: simulated bcast %v exceeds model %v", n, sim, model)
+		}
+	}
+}
+
+func TestAllreduceCostMatchesPerMessageTree(t *testing.T) {
+	net := wireNet()
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, bytes := range []int{8, 4096} {
+			sim := simAllreduce(t, n, bytes)
+			model := allreduceCost(net, n, bytes).wire
+			if sim != model {
+				t.Errorf("n=%d bytes=%d: simulated recursive doubling %v, model %v", n, bytes, sim, model)
+			}
+		}
+	}
+}
+
+func TestGatherCostMatchesPerMessageTree(t *testing.T) {
+	net := wireNet()
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, bytes := range []int{8, 4096} {
+			sim := simGather(t, n, bytes)
+			model := gatherCost(net, n, bytes).wire
+			if sim != model {
+				t.Errorf("n=%d bytes=%d: simulated recursive halving %v, model %v", n, bytes, sim, model)
+			}
+		}
+	}
+}
+
+func TestAllgatherCostBoundsPerMessageTree(t *testing.T) {
+	net := wireNet()
+	for _, n := range []int{4, 8, 16} {
+		for _, bytes := range []int{8, 4096} {
+			sim := simAllgather(t, n, bytes)
+			model := allgatherCost(net, n, bytes).wire
+			steps := vclock.Duration(treeSteps(n))
+			if model < sim {
+				t.Errorf("n=%d bytes=%d: model %v under-prices the simulated tree %v", n, bytes, model, sim)
+			}
+			if model > steps*sim {
+				t.Errorf("n=%d bytes=%d: model %v exceeds %d× the simulated tree %v", n, bytes, model, steps, sim)
+			}
+		}
+	}
+}

@@ -28,7 +28,11 @@ func (e *RankFailedError) Error() string {
 // Kill marks rank as dead and wakes every blocked rank so liveness checks
 // re-run. It is idempotent. The mailbox waiters keep their posted patterns
 // (unlike fail, which voids them): a receive that can still be satisfied by
-// a live sender simply re-parks.
+// a live sender simply re-parks. For every group the dead rank belongs to,
+// Kill also adopts the rank's unconsumed error results: a member that dies
+// after a collective failure was published was counted as a live consumer,
+// and without adoption its share would pin the rendezvous slot forever (the
+// opResult leak of the pre-sharding engine).
 func (w *World) Kill(rank int) {
 	if w.dead[rank].Swap(true) {
 		return
@@ -40,12 +44,14 @@ func (w *World) Kill(rank int) {
 		b.mu.Unlock()
 	}
 	w.groups.Lock()
-	for _, g := range w.groups.list {
-		g.mu.Lock()
-		g.cond.Broadcast()
-		g.mu.Unlock()
-	}
+	groups := append([]*Group(nil), w.groups.list...)
 	w.groups.Unlock()
+	for _, g := range groups {
+		if slot, ok := g.slot[rank]; ok {
+			g.adoptOrphans(slot)
+		}
+		g.wakeAll()
+	}
 }
 
 // Alive reports whether rank has not crashed.
@@ -57,29 +63,6 @@ func (w *World) DeadRanks() []int {
 	for i := range w.dead {
 		if w.dead[i].Load() {
 			out = append(out, i)
-		}
-	}
-	return out
-}
-
-// deadMembers counts group members currently marked dead.
-func (g *Group) deadMembers() int {
-	n := 0
-	for _, m := range g.members {
-		if g.w.dead[m].Load() {
-			n++
-		}
-	}
-	return n
-}
-
-// deadMissing returns the dead group members that have not deposited into
-// the pending op p. Callers hold g.mu.
-func (g *Group) deadMissing(p *pending) []int {
-	var out []int
-	for i, m := range g.members {
-		if !p.mask[i] && g.w.dead[m].Load() {
-			out = append(out, m)
 		}
 	}
 	return out

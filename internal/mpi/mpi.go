@@ -13,14 +13,15 @@
 // Point-to-point operations are eager (buffered): Send completes once the
 // local CPU work is done; Recv blocks until a matching message is available
 // on the virtual clock. Collectives operate on a Group (a subset of world
-// ranks) and leave all participants at a common completion time, modelling
-// a binomial-tree implementation.
+// ranks) and leave all participants at a common completion time; each
+// collective is priced by the tree-shaped algorithm it models (see
+// cost.go) and executed by the sharded rendezvous engine (see engine.go).
 package mpi
 
 import (
 	"errors"
 	"fmt"
-	"math"
+	"reflect"
 	"sync"
 	"sync/atomic"
 
@@ -222,9 +223,7 @@ func (w *World) fail(err error) {
 	}
 	w.groups.Lock()
 	for _, g := range w.groups.list {
-		g.mu.Lock()
-		g.cond.Broadcast()
-		g.mu.Unlock()
+		g.wakeAll()
 	}
 	w.groups.Unlock()
 }
@@ -248,12 +247,17 @@ type Comm struct {
 	RecvMsgs, RecvBytes int64
 
 	// sbuf is a pinned scratch vector for the scalar collectives
-	// (AllreduceSum/Max); sbox is the same slice pre-boxed as an interface
-	// so depositing it into a collective performs no per-op allocation.
-	// Safe because every Comm method runs on the rank's own goroutine and
-	// each collective copies its result out before returning.
+	// (AllreduceSum/Max, AllgatherF64sInto), so depositing a scalar into a
+	// collective performs no per-op allocation. Safe because every Comm
+	// method runs on the rank's own goroutine and each collective copies
+	// its result out before returning.
 	sbuf []float64
-	sbox any
+
+	// lastGroup/lastSlot cache this rank's slot in the most recently used
+	// group, so the steady state (the same group every cycle) resolves its
+	// slot without a map lookup. See groupSlot in engine.go.
+	lastGroup *Group
+	lastSlot  int
 
 	// flt is this rank's injected-fault state; nil when the scenario has
 	// no faults for this node, which keeps the hot-path cost to one nil
@@ -265,7 +269,6 @@ type Comm struct {
 func (w *World) NewComm(r int) *Comm {
 	c := &Comm{w: w, rank: r, node: w.cl.Node(r)}
 	c.sbuf = make([]float64, 1)
-	c.sbox = c.sbuf
 	c.flt = w.flt.Node(r)
 	return c
 }
@@ -471,184 +474,20 @@ func (w *World) Run(fn func(*Comm) error) error {
 	return w.Err()
 }
 
-// --- groups and collectives ----------------------------------------------
+// --- collectives ---------------------------------------------------------
+//
+// The Group type, the sharded rendezvous engine, and the orphan-reclaim
+// machinery live in engine.go; the per-collective cost model lives in
+// cost.go. This section is the public collective API: each entry point
+// describes its operation as a collDesc and runs it through the engine.
 
-// Group is a subset of world ranks that participates in collectives
-// together. All members must call each collective in the same order.
-type Group struct {
-	w       *World
-	members []int       // world ranks
-	slot    map[int]int // world rank -> index in members
-
-	mu         sync.Mutex
-	cond       *sync.Cond
-	seq        []int64 // per-slot local op counter (written only by owner)
-	collecting map[int64]*pending
-	results    map[int64]*opResult
-
-	// Free lists for the per-op bookkeeping structs, so a steady stream of
-	// collectives recycles its pending/result objects instead of allocating
-	// fresh ones each op. Guarded by mu.
-	freePending []*pending
-	freeResults []*opResult
-
-	// f64Pool recycles the result vectors of the float64 reductions driven
-	// through the *Into entry points (whose callers copy the result out
-	// under the group lock and never retain the shared slice).
-	f64Pool sync.Pool
-}
-
-type pending struct {
-	arrived  int
-	times    []vclock.Time
-	contribs []any
-	mask     []bool // mask[slot]: member has deposited (failure detection)
-}
-
-type opResult struct {
-	value     any
-	finish    vclock.Time
-	cpuEach   vclock.Duration
-	remaining int
-	pooled    bool  // value came from f64Pool; recycle when the op drains
-	err       error // collective failed: a group member died before depositing
-}
-
-// getPending returns a recycled (or new) pending op sized for the group.
-// Callers hold g.mu.
-func (g *Group) getPending() *pending {
-	if n := len(g.freePending); n > 0 {
-		p := g.freePending[n-1]
-		g.freePending = g.freePending[:n-1]
-		p.arrived = 0
-		for i := range p.mask {
-			p.mask[i] = false
-		}
-		return p
-	}
-	return &pending{
-		times:    make([]vclock.Time, len(g.members)),
-		contribs: make([]any, len(g.members)),
-		mask:     make([]bool, len(g.members)),
-	}
-}
-
-// putPending recycles a drained pending op. Callers hold g.mu.
-func (g *Group) putPending(p *pending) {
-	for i := range p.contribs {
-		p.contribs[i] = nil // release references for the GC
-	}
-	g.freePending = append(g.freePending, p)
-}
-
-// getResult returns a recycled (or new) opResult. Callers hold g.mu.
-func (g *Group) getResult() *opResult {
-	if n := len(g.freeResults); n > 0 {
-		r := g.freeResults[n-1]
-		g.freeResults = g.freeResults[:n-1]
-		*r = opResult{}
-		return r
-	}
-	return &opResult{}
-}
-
-// getF64 returns a pooled []float64 of length n for an Into reduction.
-func (g *Group) getF64(n int) []float64 {
-	if v, ok := g.f64Pool.Get().(*[]float64); ok {
-		if cap(*v) >= n {
-			return (*v)[:n]
-		}
-	}
-	return make([]float64, n)
-}
-
-// NewGroup returns the collective group over the given world ranks. Groups
-// are canonical: every rank asking for the same member list receives the
-// *same* Group object, which is what lets SPMD ranks rebuild a group after
-// a membership change and still meet in its collectives.
-func (w *World) NewGroup(members []int) *Group {
-	if len(members) == 0 {
-		panic("mpi: empty group")
-	}
-	key := fmt.Sprint(members)
-	w.groups.Lock()
-	if w.groups.byKey == nil {
-		w.groups.byKey = make(map[string]*Group)
-	}
-	if g, ok := w.groups.byKey[key]; ok {
-		w.groups.Unlock()
-		return g
-	}
-	w.groups.Unlock()
-	g := &Group{
-		w:          w,
-		members:    append([]int(nil), members...),
-		slot:       make(map[int]int, len(members)),
-		seq:        make([]int64, len(members)),
-		collecting: make(map[int64]*pending),
-		results:    make(map[int64]*opResult),
-	}
-	g.cond = sync.NewCond(&g.mu)
-	for i, m := range members {
-		if _, dup := g.slot[m]; dup {
-			panic(fmt.Sprintf("mpi: duplicate rank %d in group", m))
-		}
-		g.slot[m] = i
-	}
-	w.groups.Lock()
-	if prior, ok := w.groups.byKey[key]; ok {
-		// Another rank registered the same group concurrently; use theirs.
-		w.groups.Unlock()
-		return prior
-	}
-	w.groups.byKey[key] = g
-	w.groups.list = append(w.groups.list, g)
-	w.groups.Unlock()
-	return g
-}
-
-// AllGroup returns the group containing every world rank.
-func (w *World) AllGroup() *Group { return w.all }
-
-// Members returns the group's world ranks (callers must not mutate).
-func (g *Group) Members() []int { return g.members }
-
-// Size reports the number of group members.
-func (g *Group) Size() int { return len(g.members) }
-
-// Slot reports rank's index within the group and whether it is a member.
-func (g *Group) Slot(rank int) (int, bool) {
-	s, ok := g.slot[rank]
-	return s, ok
-}
-
-// steps returns the binomial-tree depth for the group size.
-func (g *Group) steps() int {
-	if len(g.members) <= 1 {
-		return 0
-	}
-	return int(math.Ceil(math.Log2(float64(len(g.members)))))
-}
-
-// reduceFn combines all members' arrival times and contributions into the
-// op's result value, completion time, and per-member CPU charge.
-type reduceFn func(times []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration)
-
-// rendezvous is the generic collective: every member deposits a
-// contribution; the last to arrive runs reduce; everyone leaves with the
-// result, their clock advanced to the completion time plus the CPU charge.
-func (c *Comm) rendezvous(g *Group, contrib any, reduce reduceFn) any {
-	return c.rendezvousInto(g, contrib, reduce, nil, false)
-}
-
-// rendezvousInto is rendezvous with optional copy-out semantics: when dst is
-// non-nil the []float64 result is copied into dst *under the group lock*
-// (before the op is released), so pooled result vectors can be recycled the
-// moment the last member leaves without racing a slow reader. pooled marks
-// the reduction's result vector as owned by g.f64Pool. A collective failure
-// (dead group member) fails the whole world; use rendezvousErr to survive.
-func (c *Comm) rendezvousInto(g *Group, contrib any, reduce reduceFn, dst []float64, pooled bool) any {
-	value, err := c.rendezvousErr(g, contrib, reduce, dst, pooled)
+// rendezvous runs a collective, failing the whole world when a group
+// member is dead. The *Err entry points use rendezvousErr directly and
+// survive the death instead. Vector ([]float64) contributions are passed
+// through vec so the hot collectives never box a slice through an
+// interface; everything else travels boxed through contrib.
+func (c *Comm) rendezvous(g *Group, contrib any, vec []float64, desc *collDesc, dst []float64) any {
+	value, err := c.rendezvousErr(g, contrib, vec, desc, dst)
 	if err != nil {
 		c.w.fail(fmt.Errorf("rank %d: %w", c.rank, err))
 		panic(errFailed)
@@ -656,233 +495,64 @@ func (c *Comm) rendezvousInto(g *Group, contrib any, reduce reduceFn, dst []floa
 	return value
 }
 
-// rendezvousErr is the failure-aware collective core. When a group member
-// is dead and has not deposited its contribution, every surviving member
-// leaves the op with a *RankFailedError naming the dead rank(s), at its own
-// deposit time and with no clock advance — the collective never completed,
-// so it charges nothing. The error is computed once per op (by the first
-// waiter to observe the death) and shared, so all survivors agree on it. A
-// member that dies *inside* the op is impossible: injected crashes fire at
-// operation entry, before the deposit.
-func (c *Comm) rendezvousErr(g *Group, contrib any, reduce reduceFn, dst []float64, pooled bool) (any, error) {
-	c.checkFailed()
-	if c.flt != nil {
-		c.pollFaults()
-	}
-	slot, ok := g.slot[c.rank]
-	if !ok {
-		panic(fmt.Sprintf("mpi: rank %d not in group", c.rank))
-	}
-	seq := g.seq[slot]
-	g.seq[slot]++
-
-	g.mu.Lock()
-	p := g.collecting[seq]
-	if p == nil {
-		p = g.getPending()
-		g.collecting[seq] = p
-	}
-	p.times[slot] = c.node.Now()
-	p.contribs[slot] = contrib
-	p.mask[slot] = true
-	p.arrived++
-	if p.arrived == len(g.members) {
-		// Run the reduction outside the lock: every contribution is in and
-		// immutable, and a panicking reduction (bad payload shapes) must
-		// fail the world rather than deadlock it by unwinding with the
-		// mutex held.
-		delete(g.collecting, seq)
-		g.mu.Unlock()
-		value, finish, cpu, err := safeReduce(reduce, p.times, p.contribs)
-		if err != nil {
-			c.w.fail(fmt.Errorf("rank %d: collective reduction: %w", c.rank, err))
-			panic(errFailed)
-		}
-		g.mu.Lock()
-		g.putPending(p)
-		r := g.getResult()
-		r.value, r.finish, r.cpuEach, r.remaining, r.pooled = value, finish, cpu, len(g.members), pooled
-		g.results[seq] = r
-		g.cond.Broadcast()
-	} else {
-		for g.results[seq] == nil {
-			if c.w.failed.Load() {
-				g.mu.Unlock()
-				panic(errFailed)
-			}
-			if c.w.deadCount.Load() > 0 {
-				if missing := g.deadMissing(p); len(missing) != 0 {
-					r := g.getResult()
-					r.err = &RankFailedError{Op: "collective", Ranks: missing}
-					// Only live members will claim this result. A member
-					// that dies after this count is taken leaks one
-					// opResult for the op — bounded, and never a deadlock.
-					r.remaining = len(g.members) - g.deadMembers()
-					g.results[seq] = r
-					g.cond.Broadcast()
-					break
-				}
-			}
-			g.cond.Wait()
-		}
-	}
-	r := g.results[seq]
-	if r.err != nil {
-		err := r.err
-		r.remaining--
-		if r.remaining == 0 {
-			delete(g.results, seq)
-			// The pending op is still registered (the op never completed);
-			// recycle it with the result.
-			if fp := g.collecting[seq]; fp != nil {
-				delete(g.collecting, seq)
-				g.putPending(fp)
-			}
-			r.err = nil
-			r.value = nil
-			g.freeResults = append(g.freeResults, r)
-		}
-		g.mu.Unlock()
-		return nil, err
-	}
-	value, finish, cpuEach := r.value, r.finish, r.cpuEach
-	if dst != nil {
-		copy(dst, value.([]float64))
-		value = nil // the caller reads dst; never leak the shared slice
-	}
-	r.remaining--
-	if r.remaining == 0 {
-		delete(g.results, seq)
-		if r.pooled {
-			v := r.value.([]float64)
-			g.f64Pool.Put(&v)
-		}
-		r.value = nil
-		g.freeResults = append(g.freeResults, r)
-	}
-	g.mu.Unlock()
-
-	c.node.WaitUntil(finish)
-	if cpuEach > 0 {
-		c.node.Compute(cpuEach)
-	}
-	return value, nil
-}
-
-// safeReduce runs a reduction, converting panics into errors.
-func safeReduce(reduce reduceFn, times []vclock.Time, contribs []any) (value any, finish vclock.Time, cpu vclock.Duration, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("%v", r)
-		}
-	}()
-	value, finish, cpu = reduce(times, contribs)
-	return value, finish, cpu, nil
-}
-
-// maxTime returns the latest of ts.
-func maxTime(ts []vclock.Time) vclock.Time {
-	m := ts[0]
-	for _, t := range ts[1:] {
-		if t > m {
-			m = t
-		}
-	}
-	return m
-}
-
-// barrierReduce builds the barrier's reduction closure.
-func (c *Comm) barrierReduce(g *Group) reduceFn {
-	net := c.w.cl.Net()
-	steps := g.steps()
-	return func(ts []vclock.Time, _ []any) (any, vclock.Time, vclock.Duration) {
-		finish := maxTime(ts).Add(vclock.Duration(steps) * net.Latency)
-		return nil, finish, vclock.Duration(steps) * net.CPUPerMsg
-	}
-}
-
 // Barrier synchronises the group.
 func (c *Comm) Barrier(g *Group) {
-	c.rendezvous(g, nil, c.barrierReduce(g))
+	c.rendezvous(g, nil, nil, &collDesc{kind: opBarrier}, nil)
 }
 
 // BarrierErr is Barrier returning an error instead of failing the world
 // when a group member is dead.
 func (c *Comm) BarrierErr(g *Group) error {
-	_, err := c.rendezvousErr(g, nil, c.barrierReduce(g), nil, false)
+	_, err := c.rendezvousErr(g, nil, nil, &collDesc{kind: opBarrier}, nil)
 	return err
 }
 
-// bcastReduce builds the broadcast closure: the result is the root slot's
-// contribution, delivered along a binomial tree of the given depth.
-func (c *Comm) bcastReduce(g *Group, rootSlot, bytes int) reduceFn {
-	net := c.w.cl.Net()
-	steps := g.steps()
-	return func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
-		per := wireTime(net, bytes)
-		finish := maxTime(ts).Add(vclock.Duration(steps) * per)
-		return contribs[rootSlot], finish, vclock.Duration(steps) * cpuCost(net, bytes)
+// bcastRootSlot resolves root to its group slot, panicking (and thereby
+// failing the world from inside a rank) when root is not a member.
+func (g *Group) bcastRootSlot(root int) int {
+	s, ok := g.slot[root]
+	if !ok {
+		panic(fmt.Sprintf("mpi: bcast root %d not in group", root))
 	}
+	return s
 }
 
 // Bcast distributes the root's payload (of the given wire size) to every
 // group member and returns it. root is a world rank.
 func (c *Comm) Bcast(g *Group, root int, payload any, bytes int) any {
-	rootSlot, ok := g.slot[root]
-	if !ok {
-		panic(fmt.Sprintf("mpi: bcast root %d not in group", root))
-	}
+	rootSlot := g.bcastRootSlot(root)
 	var contrib any
 	if c.rank == root {
 		contrib = payload
 	}
-	return c.rendezvous(g, contrib, c.bcastReduce(g, rootSlot, bytes))
+	return c.rendezvous(g, contrib, nil, &collDesc{kind: opBcast, bytes: bytes, rootSlot: rootSlot}, nil)
 }
 
 // BcastErr is Bcast returning an error instead of failing the world when a
 // group member is dead. If the root itself died the error names it and no
 // payload is delivered.
 func (c *Comm) BcastErr(g *Group, root int, payload any, bytes int) (any, error) {
-	rootSlot, ok := g.slot[root]
-	if !ok {
-		panic(fmt.Sprintf("mpi: bcast root %d not in group", root))
-	}
+	rootSlot := g.bcastRootSlot(root)
 	var contrib any
 	if c.rank == root {
 		contrib = payload
 	}
-	return c.rendezvousErr(g, contrib, c.bcastReduce(g, rootSlot, bytes), nil, false)
+	return c.rendezvousErr(g, contrib, nil, &collDesc{kind: opBcast, bytes: bytes, rootSlot: rootSlot}, nil)
 }
 
 // BcastF64sInto distributes the root's buf contents into every member's buf
 // (all members pass same-length buffers; the root's is the source). The
-// shared intermediate is pooled and each member copies out under the group
-// lock, so the root may overwrite its buffer as soon as the call returns and
-// steady-state broadcasts allocate nothing. Wire size and virtual cost are
-// identical to Bcast with an F64Bytes payload.
+// shared intermediate is pooled and each member copies out before releasing
+// the op, so the root may overwrite its buffer as soon as the call returns
+// and steady-state broadcasts recycle their vectors. Wire size and virtual
+// cost are identical to Bcast with an F64Bytes payload.
 func (c *Comm) BcastF64sInto(g *Group, root int, buf []float64) {
-	net := c.w.cl.Net()
-	steps := g.steps()
-	rootSlot, ok := g.slot[root]
-	if !ok {
-		panic(fmt.Sprintf("mpi: bcast root %d not in group", root))
-	}
-	bytes := F64Bytes(len(buf))
-	var contrib any
+	rootSlot := g.bcastRootSlot(root)
+	var vec []float64
 	if c.rank == root {
-		contrib = buf
+		vec = buf
 	}
-	c.rendezvousInto(g, contrib, func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
-		src := contribs[rootSlot].([]float64)
-		// Copy into a pooled vector: the root's own buffer is only stable
-		// until the root leaves the collective, but members may copy out
-		// later.
-		out := g.getF64(len(src))
-		copy(out, src)
-		per := wireTime(net, bytes)
-		finish := maxTime(ts).Add(vclock.Duration(steps) * per)
-		return out, finish, vclock.Duration(steps) * cpuCost(net, bytes)
-	}, buf, true)
+	c.rendezvous(g, nil, vec, &collDesc{kind: opBcast, bytes: F64Bytes(len(buf)), rootSlot: rootSlot, pooled: true}, buf)
 }
 
 // AllreduceF64s performs an element-wise reduction of each member's vector
@@ -891,62 +561,18 @@ func (c *Comm) BcastF64sInto(g *Group, root int, buf []float64) {
 // call a reduction every cycle should prefer AllreduceF64sInto, which
 // recycles the shared intermediate and writes into a caller-owned buffer.
 func (c *Comm) AllreduceF64s(g *Group, vals []float64, op func(a, b float64) float64) []float64 {
-	res := c.allreduceF64s(g, vals, op, nil)
+	res := c.rendezvous(g, nil, vals, &collDesc{kind: opAllreduce, bytes: F64Bytes(len(vals)), rfn: op, rop: ropOf(op)}, nil)
 	return res.([]float64)
 }
 
 // AllreduceF64sInto reduces buf element-wise across the group and stores the
 // result back into buf (which is both this rank's contribution and its
-// destination). The shared intermediate vector is pooled inside the group,
-// so steady-state reductions allocate only the reduction closure. buf must
-// not be mutated by the caller until the call returns; afterwards the caller
-// owns it fully — nothing retains a reference.
+// destination). The shared intermediate vector is recycled inside the group,
+// so steady-state reductions stay allocation-light. buf must not be mutated
+// by the caller until the call returns; afterwards the caller owns it fully
+// — nothing retains a reference.
 func (c *Comm) AllreduceF64sInto(g *Group, buf []float64, op func(a, b float64) float64) {
-	c.allreduceF64sBoxed(g, buf, buf, op, buf)
-}
-
-func (c *Comm) allreduceF64s(g *Group, vals []float64, op func(a, b float64) float64, dst []float64) any {
-	return c.allreduceF64sBoxed(g, vals, vals, op, dst)
-}
-
-// allreduceReduce builds the element-wise reduction closure shared by the
-// plain and Err allreduce entry points. n is the vector length (fixes the
-// wire size); pooled selects a pooled result vector.
-func (c *Comm) allreduceReduce(g *Group, n int, op func(a, b float64) float64, pooled bool) reduceFn {
-	net := c.w.cl.Net()
-	steps := g.steps()
-	bytes := F64Bytes(n)
-	return func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
-		first := contribs[0].([]float64)
-		var out []float64
-		if pooled {
-			out = g.getF64(len(first))
-			copy(out, first)
-		} else {
-			out = append([]float64(nil), first...)
-		}
-		for _, cb := range contribs[1:] {
-			v := cb.([]float64)
-			if len(v) != len(out) {
-				panic("mpi: allreduce length mismatch")
-			}
-			for i := range out {
-				out[i] = op(out[i], v[i])
-			}
-		}
-		per := wireTime(net, bytes)
-		finish := maxTime(ts).Add(vclock.Duration(steps) * per)
-		return out, finish, vclock.Duration(steps) * cpuCost(net, bytes)
-	}
-}
-
-// allreduceF64sBoxed is the common reduction core. contrib must box the same
-// slice as vals (callers with a pre-boxed scratch pass it to avoid the
-// per-op interface allocation). When dst is non-nil the result is copied
-// into dst under the group lock and the shared vector is recycled.
-func (c *Comm) allreduceF64sBoxed(g *Group, vals []float64, contrib any, op func(a, b float64) float64, dst []float64) any {
-	pooled := dst != nil
-	return c.rendezvousInto(g, contrib, c.allreduceReduce(g, len(vals), op, pooled), dst, pooled)
+	c.rendezvous(g, nil, buf, &collDesc{kind: opAllreduce, bytes: F64Bytes(len(buf)), rfn: op, rop: ropOf(op), pooled: true}, buf)
 }
 
 // Sum and Max are common allreduce operators.
@@ -960,17 +586,36 @@ func Max(a, b float64) float64 {
 	return b
 }
 
+// sumPC/maxPC identify the package's well-known operators by code pointer,
+// so the reduction loops can run direct arithmetic instead of an indirect
+// call per element (the dominant per-element cost; see combine in
+// engine.go). Unknown operators take the general path unchanged.
+var (
+	sumPC = reflect.ValueOf(Sum).Pointer()
+	maxPC = reflect.ValueOf(Max).Pointer()
+)
+
+func ropOf(op func(a, b float64) float64) uint8 {
+	switch reflect.ValueOf(op).Pointer() {
+	case sumPC:
+		return ropSum
+	case maxPC:
+		return ropMax
+	}
+	return ropCustom
+}
+
 // AllreduceSum reduces a single value by summation.
 func (c *Comm) AllreduceSum(g *Group, v float64) float64 {
 	c.sbuf[0] = v
-	c.allreduceF64sBoxed(g, c.sbuf, c.sbox, Sum, c.sbuf)
+	c.rendezvous(g, nil, c.sbuf, &collDesc{kind: opAllreduce, bytes: 8, rfn: Sum, rop: ropSum, pooled: true}, c.sbuf)
 	return c.sbuf[0]
 }
 
 // AllreduceMax reduces a single value by maximum.
 func (c *Comm) AllreduceMax(g *Group, v float64) float64 {
 	c.sbuf[0] = v
-	c.allreduceF64sBoxed(g, c.sbuf, c.sbox, Max, c.sbuf)
+	c.rendezvous(g, nil, c.sbuf, &collDesc{kind: opAllreduce, bytes: 8, rfn: Max, rop: ropMax, pooled: true}, c.sbuf)
 	return c.sbuf[0]
 }
 
@@ -978,7 +623,7 @@ func (c *Comm) AllreduceMax(g *Group, v float64) float64 {
 // the world when a group member is dead. On error nothing was reduced and
 // vals is untouched, so the caller may retry over a rebuilt group.
 func (c *Comm) AllreduceF64sErr(g *Group, vals []float64, op func(a, b float64) float64) ([]float64, error) {
-	res, err := c.rendezvousErr(g, vals, c.allreduceReduce(g, len(vals), op, false), nil, false)
+	res, err := c.rendezvousErr(g, nil, vals, &collDesc{kind: opAllreduce, bytes: F64Bytes(len(vals)), rfn: op, rop: ropOf(op)}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -989,7 +634,7 @@ func (c *Comm) AllreduceF64sErr(g *Group, vals []float64, op func(a, b float64) 
 // failing the world when a group member is dead. On error buf is untouched
 // (the copy-out happens only on success), so the caller may retry.
 func (c *Comm) AllreduceF64sIntoErr(g *Group, buf []float64, op func(a, b float64) float64) error {
-	_, err := c.rendezvousErr(g, buf, c.allreduceReduce(g, len(buf), op, true), buf, true)
+	_, err := c.rendezvousErr(g, nil, buf, &collDesc{kind: opAllreduce, bytes: F64Bytes(len(buf)), rfn: op, rop: ropOf(op), pooled: true}, buf)
 	return err
 }
 
@@ -997,7 +642,7 @@ func (c *Comm) AllreduceF64sIntoErr(g *Group, buf []float64, op func(a, b float6
 // world when a group member is dead.
 func (c *Comm) AllreduceSumErr(g *Group, v float64) (float64, error) {
 	c.sbuf[0] = v
-	if _, err := c.rendezvousErr(g, c.sbox, c.allreduceReduce(g, 1, Sum, true), c.sbuf, true); err != nil {
+	if _, err := c.rendezvousErr(g, nil, c.sbuf, &collDesc{kind: opAllreduce, bytes: 8, rfn: Sum, rop: ropSum, pooled: true}, c.sbuf); err != nil {
 		return 0, err
 	}
 	return c.sbuf[0], nil
@@ -1007,54 +652,58 @@ func (c *Comm) AllreduceSumErr(g *Group, v float64) (float64, error) {
 // world when a group member is dead.
 func (c *Comm) AllreduceMaxErr(g *Group, v float64) (float64, error) {
 	c.sbuf[0] = v
-	if _, err := c.rendezvousErr(g, c.sbox, c.allreduceReduce(g, 1, Max, true), c.sbuf, true); err != nil {
+	if _, err := c.rendezvousErr(g, nil, c.sbuf, &collDesc{kind: opAllreduce, bytes: 8, rfn: Max, rop: ropMax, pooled: true}, c.sbuf); err != nil {
 		return 0, err
 	}
 	return c.sbuf[0], nil
 }
 
-// allgatherReduce builds the allgather closure: the result is a slot-ordered
-// copy of the contributions.
-func (c *Comm) allgatherReduce(g *Group, bytes int) reduceFn {
-	net := c.w.cl.Net()
-	steps := g.steps()
-	return func(ts []vclock.Time, contribs []any) (any, vclock.Time, vclock.Duration) {
-		out := append([]any(nil), contribs...)
-		// Recursive doubling: in step k each node exchanges 2^k
-		// contributions, so the dominant cost is the last step carrying
-		// half the total payload.
-		total := bytes * len(g.members)
-		per := wireTime(net, total/2+bytes)
-		finish := maxTime(ts).Add(vclock.Duration(steps) * per)
-		return out, finish, vclock.Duration(steps) * cpuCost(net, total/2+bytes)
-	}
-}
-
 // Allgather collects every member's contribution, ordered by group slot,
 // on every member. bytes is the wire size of one contribution.
 func (c *Comm) Allgather(g *Group, contrib any, bytes int) []any {
-	res := c.rendezvous(g, contrib, c.allgatherReduce(g, bytes))
+	res := c.rendezvous(g, contrib, nil, &collDesc{kind: opAllgather, bytes: bytes}, nil)
 	return res.([]any)
 }
 
 // AllgatherErr is Allgather returning an error instead of failing the
 // world when a group member is dead.
 func (c *Comm) AllgatherErr(g *Group, contrib any, bytes int) ([]any, error) {
-	res, err := c.rendezvousErr(g, contrib, c.allgatherReduce(g, bytes), nil, false)
+	res, err := c.rendezvousErr(g, contrib, nil, &collDesc{kind: opAllgather, bytes: bytes}, nil)
 	if err != nil {
 		return nil, err
 	}
 	return res.([]any), nil
 }
 
-// AllgatherF64 gathers one float64 per member, ordered by slot.
+// AllgatherF64 gathers one float64 per member, ordered by slot, into a
+// fresh slice. Hot paths that gather every cycle should prefer
+// AllgatherF64sInto, which writes into a caller-owned buffer and performs
+// no boxing.
 func (c *Comm) AllgatherF64(g *Group, v float64) []float64 {
-	parts := c.Allgather(g, v, 8)
-	out := make([]float64, len(parts))
-	for i, p := range parts {
-		out[i] = p.(float64)
-	}
+	out := make([]float64, len(g.members))
+	c.AllgatherF64sInto(g, v, out)
 	return out
+}
+
+// AllgatherF64sInto gathers one float64 per member, ordered by slot, into
+// dst (which must have length >= the group size). Contributions travel
+// through the rank's pinned scratch and the shared result vector is pooled
+// with copy-out-before-release semantics (the same contract as
+// BcastF64sInto), so steady-state gathers perform no boxing and no
+// allocation. Wire size and virtual cost are identical to an 8-byte
+// Allgather.
+func (c *Comm) AllgatherF64sInto(g *Group, v float64, dst []float64) {
+	c.sbuf[0] = v
+	c.rendezvous(g, nil, c.sbuf, &collDesc{kind: opAllgatherF64, bytes: 8, pooled: true}, dst)
+}
+
+// AllgatherF64sIntoErr is AllgatherF64sInto returning an error instead of
+// failing the world when a group member is dead. On error dst is untouched,
+// so the caller may retry over a rebuilt group.
+func (c *Comm) AllgatherF64sIntoErr(g *Group, v float64, dst []float64) error {
+	c.sbuf[0] = v
+	_, err := c.rendezvousErr(g, nil, c.sbuf, &collDesc{kind: opAllgatherF64, bytes: 8, pooled: true}, dst)
+	return err
 }
 
 // AllgatherInt gathers one int per member, ordered by slot.
@@ -1068,11 +717,18 @@ func (c *Comm) AllgatherInt(g *Group, v int) []int {
 }
 
 // Gather collects contributions on root (world rank); root receives the
-// slot-ordered slice, everyone else nil.
+// slot-ordered slice, everyone else nil. Unlike Allgather it is priced as a
+// root-terminated binomial gather — only n-1 contribution blocks cross the
+// wire in total (see gatherCost) — and non-root members are handed nil
+// without a copy of the gathered slice.
 func (c *Comm) Gather(g *Group, root int, contrib any, bytes int) []any {
-	all := c.Allgather(g, contrib, bytes) // gather modelled as allgather; cost shape is close enough
-	if c.rank != root {
+	rootSlot, ok := g.slot[root]
+	if !ok {
+		panic(fmt.Sprintf("mpi: gather root %d not in group", root))
+	}
+	res := c.rendezvous(g, contrib, nil, &collDesc{kind: opGather, bytes: bytes, rootSlot: rootSlot}, nil)
+	if res == nil {
 		return nil
 	}
-	return all
+	return res.([]any)
 }

@@ -31,6 +31,7 @@ const (
 	KindLoadSample = "load-sample"
 	KindLoadEvent  = "load-event"
 	KindFailure    = "failure"
+	KindCollective = "collective"
 )
 
 // Record is one structured telemetry event.
@@ -160,6 +161,21 @@ type FailureRecord struct {
 	Fault  string  `json:"fault"`   // "crash", "stall", "drop", "delay"
 	Target int     `json:"target"`  // destination rank for message faults, -1 otherwise
 	DelayS float64 `json:"delay_s"` // stall length / added delivery delay, in seconds
+}
+
+// CollectiveRecord summarises the collectives of one shape completed on one
+// group over a run: the operation, the cost-model tree it is priced as, the
+// group size and modelled tree depth, and the completed-operation and
+// offered-byte totals. Emitted once per (group, shape) with a non-zero
+// count, typically at run exit.
+type CollectiveRecord struct {
+	Base
+	Op        string `json:"op"`        // "barrier", "bcast", "allreduce", ...
+	Algorithm string `json:"algorithm"` // modelled tree, e.g. "recursive-doubling"
+	Ranks     int    `json:"ranks"`     // group size
+	Steps     int    `json:"steps"`     // modelled tree depth ceil(log2 ranks)
+	Count     int64  `json:"count"`     // completed operations
+	Bytes     int64  `json:"bytes"`     // payload bytes offered across members and ops
 }
 
 // Sort orders records by (virtual time, node, per-node sequence), the
