@@ -47,6 +47,7 @@ func BenchmarkFig4Jacobi(b *testing.B) {
 	b.ReportAllocs()
 	cfg := jacobi.DefaultConfig()
 	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 128, 128, 80, 10e3
+	cfg.Overlap = true // nonblocking halos: fewer physical blocking handshakes
 	for i := 0; i < b.N; i++ {
 		res, err := jacobi.Run(cluster.New(loaded4()), cfg)
 		benchResult(b, res, err)
@@ -57,6 +58,7 @@ func BenchmarkFig4SOR(b *testing.B) {
 	b.ReportAllocs()
 	cfg := sor.DefaultConfig()
 	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 128, 128, 80, 10e3
+	cfg.Overlap = true
 	for i := 0; i < b.N; i++ {
 		res, err := sor.Run(cluster.New(loaded4()), cfg)
 		benchResult(b, res, err)
@@ -271,6 +273,67 @@ func BenchmarkMPISendRecvFaults(b *testing.B) {
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkIsendIrecv prices one nonblocking exchange cycle
+// (Irecv/Isend/Wait on both sides). The request objects are pooled, so the
+// steady state must stay at 0 allocs/op: the bench gate fails any rise above
+// a zero baseline.
+func BenchmarkIsendIrecv(b *testing.B) {
+	b.ReportAllocs()
+	payload := make([]float64, 1024)
+	var boxed any = payload
+	bytes := mpi.F64Bytes(len(payload))
+	err := mpi.Run(cluster.New(cluster.Uniform(2)), func(c *mpi.Comm) error {
+		peer := 1 - c.Rank()
+		for i := 0; i < b.N; i++ {
+			rq := c.Irecv(peer, 0)
+			snd := c.Isend(peer, 0, boxed, bytes)
+			c.Wait(rq)
+			c.Wait(snd) // free for sends; recycles the request
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRedistPipeline exercises the pipelined Phase 3 drain end to end:
+// an adaptive jacobi run that redistributes twice (load arrives, then
+// leaves), so each iteration pays several full harvest/replay commits.
+func BenchmarkRedistPipeline(b *testing.B) {
+	b.ReportAllocs()
+	cfg := jacobi.DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 128, 512, 90, 3e3
+	cfg.Core.Drop = core.DropNever
+	spec := cluster.Uniform(4).
+		With(cluster.CycleEvent(1, 30, +1)).
+		With(cluster.CycleEvent(1, 60, -1))
+	for i := 0; i < b.N; i++ {
+		res, err := jacobi.Run(cluster.New(spec), cfg)
+		benchResult(b, res, err)
+	}
+}
+
+// BenchmarkHaloOverlap isolates the double-buffered halo path: a
+// non-adaptive jacobi run with Overlap on, so the loop body is pure
+// compute + HaloExchangeOverlap with no decision machinery.
+func BenchmarkHaloOverlap(b *testing.B) {
+	b.ReportAllocs()
+	cfg := jacobi.DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = 128, 128, 80, 10e3
+	cfg.Overlap = true
+	cfg.Core.Adapt = false
+	for i := 0; i < b.N; i++ {
+		res, err := jacobi.Run(cluster.New(cluster.Uniform(4)), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Elapsed <= 0 {
+			b.Fatal("run did not advance virtual time")
+		}
 	}
 }
 

@@ -11,6 +11,7 @@
 //	dynexp microbench  — §4.3 pair-fraction table and method comparison
 //	dynexp trace       — canonical loaded-4-node run with structured telemetry
 //	dynexp scale       — large-world collective soak (64/256/1024 ranks)
+//	dynexp overlap     — nonblocking halo overlap and redistribution stall study
 //	dynexp all         — everything above (except trace and scale)
 //
 // The -paper flag selects the paper's original input sizes (slower); the
@@ -52,13 +53,13 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] [-fault specs] [-replicate] [-replica-every n] [-scale-n n] [-cpuprofile f] [-memprofile f] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|scale|all}\n")
+	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] [-fault specs] [-replicate] [-replica-every n] [-scale-n n] [-cpuprofile f] [-memprofile f] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|scale|overlap|all}\n")
 	os.Exit(2)
 }
 
 func main() {
 	paper := flag.Bool("paper", false, "use the paper's original input sizes")
-	nodesFlag := flag.String("nodes", "", "comma-separated node counts (fig4/fig6 only)")
+	nodesFlag := flag.String("nodes", "", "comma-separated node counts (fig4/fig6/overlap only)")
 	traceFile := flag.String("trace", "", "write the telemetry record stream as JSONL to this file (trace subcommand)")
 	summary := flag.Bool("summary", false, "print a telemetry aggregation table (trace subcommand)")
 	faultSpecs := flag.String("fault", "", "';'-separated fault specs to inject, e.g. 'crash:node=2,cycle=12' (trace subcommand)")
@@ -194,6 +195,18 @@ func main() {
 				return err
 			}
 			r.Table().Render(os.Stdout)
+		case "overlap":
+			o := exp.DefaultOverlapOptions()
+			if nodes != nil {
+				o.Nodes = nodes
+			}
+			r, err := exp.RunOverlap(o)
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			fmt.Printf("  arrival-order commits cut redistribution stall by %.0f%% on the skewed-load scenario\n",
+				r.StallReduction()*100)
 		case "trace":
 			o := exp.DefaultTraceOptions()
 			if *faultSpecs != "" {
@@ -260,7 +273,7 @@ func main() {
 	target := flag.Arg(0)
 	var names []string
 	if target == "all" {
-		names = []string{"fig4", "cg-table", "fig5", "fig6", "fig7", "alloc", "microbench", "virt"}
+		names = []string{"fig4", "cg-table", "fig5", "fig6", "fig7", "alloc", "microbench", "virt", "overlap"}
 	} else {
 		names = []string{target}
 	}

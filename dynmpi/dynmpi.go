@@ -262,3 +262,14 @@ func SortTelemetry(recs []TelemetryRecord) { telemetry.Sort(recs) }
 func HaloExchange(rt *Runtime, tag, n int, rowOf func(g int) []float64, store func(g int, row []float64)) {
 	apps.HaloExchange(rt, tag, n, rowOf, store)
 }
+
+// HaloExchangeOverlap is HaloExchange with communication/computation
+// overlap: the boundary rows are posted nonblockingly, overlap (typically
+// the interior compute, which must not touch the boundary or ghost rows)
+// runs over the in-flight wire time, and only then are the ghost rows
+// waited for and stored. Wire time hidden behind the overlap closure is
+// free in virtual time and credited to the run's hidden-wire telemetry.
+// With a nil overlap it degenerates to HaloExchange's exact charges.
+func HaloExchangeOverlap(rt *Runtime, tag, n int, rowOf func(g int) []float64, store func(g int, row []float64), overlap func()) {
+	apps.HaloExchangeOverlap(rt, tag, n, rowOf, store, overlap)
+}

@@ -181,3 +181,109 @@ func HaloExchange(rt *core.Runtime, tag int, n int, rowOf func(g int) []float64,
 		}
 	}
 }
+
+// HaloHandle is an in-flight overlapped halo exchange started by
+// BeginHaloExchange. The zero value is inert: Finish on it is a no-op, so
+// non-participating ranks need no special casing.
+type HaloHandle struct {
+	rt               *core.Runtime
+	lo, hi           int
+	recvUp, recvDown *mpi.Request // ghost rows lo-1 and hi
+	sendUp, sendDown *mpi.Request
+}
+
+// BeginHaloExchange starts the nearest-neighbour boundary exchange without
+// waiting for the ghosts: it posts the ghost Irecvs, snapshots and Isends
+// the boundary rows, and returns — charging only the send-side injection
+// CPU. The caller then computes whatever does not need the incoming ghosts
+// (typically the interior rows) and calls Finish; wire time that elapses
+// behind that compute is genuinely free in virtual time and is credited to
+// the rank's HiddenWire counter by Finish's Waits. Boundary rows must hold
+// their final values before the call — they are shipped immediately.
+func BeginHaloExchange(rt *core.Runtime, tag int, n int, rowOf func(g int) []float64) HaloHandle {
+	if !rt.Participating() {
+		return HaloHandle{}
+	}
+	lo, hi := rt.Dist().RangeOf(rt.Comm().Rank())
+	if lo >= hi {
+		return HaloHandle{}
+	}
+	h := HaloHandle{rt: rt, lo: lo, hi: hi}
+	up, down := -1, -1
+	if lo > 0 {
+		up = rt.Dist().Owner(lo - 1)
+	}
+	if hi < n {
+		down = rt.Dist().Owner(hi)
+	}
+	comm := rt.Comm()
+	// Ghost receives first, so a neighbour's send fills the posted request
+	// directly instead of passing through the mailbox queues.
+	if up >= 0 {
+		h.recvUp = comm.Irecv(up, tag)
+	}
+	if down >= 0 {
+		h.recvDown = comm.Irecv(down, tag)
+	}
+	snap := func(g int) []float64 {
+		src := rowOf(g)
+		out := make([]float64, len(src))
+		copy(out, src)
+		return out
+	}
+	if up >= 0 {
+		row := snap(lo)
+		h.sendUp = comm.Isend(up, tag, row, mpi.F64Bytes(len(row)))
+	}
+	if down >= 0 {
+		row := snap(hi - 1)
+		h.sendDown = comm.Isend(down, tag, row, mpi.F64Bytes(len(row)))
+	}
+	return h
+}
+
+// Finish waits for the ghost rows and stores them, keeping a stale ghost
+// when the neighbour died (the same policy as HaloExchange), and recycles
+// the send requests. It is idempotent.
+func (h *HaloHandle) Finish(store func(g int, row []float64)) {
+	if h.rt == nil {
+		return
+	}
+	comm := h.rt.Comm()
+	if h.recvUp != nil {
+		if row, _, err := comm.WaitErr(h.recvUp); err == nil {
+			store(h.lo-1, row.([]float64))
+		}
+		h.recvUp = nil
+	}
+	if h.recvDown != nil {
+		if row, _, err := comm.WaitErr(h.recvDown); err == nil {
+			store(h.hi, row.([]float64))
+		}
+		h.recvDown = nil
+	}
+	if h.sendUp != nil {
+		comm.WaitErr(h.sendUp) // send requests complete at post; this only recycles
+		h.sendUp = nil
+	}
+	if h.sendDown != nil {
+		comm.WaitErr(h.sendDown)
+		h.sendDown = nil
+	}
+	h.rt = nil
+}
+
+// HaloExchangeOverlap is HaloExchange with communication/computation
+// overlap: it posts the ghost receives and boundary sends, runs overlap()
+// (the work that does not depend on the incoming ghosts — typically the
+// interior-row compute) while the wire time elapses in virtual background,
+// then waits for and stores the ghosts. Callers must compute their boundary
+// rows before calling it, since those rows are shipped up front; overlap()
+// runs even on ranks that own no rows, so loop structure stays uniform.
+func HaloExchangeOverlap(rt *core.Runtime, tag int, n int, rowOf func(g int) []float64, store func(g int, row []float64), overlap func()) {
+	h := BeginHaloExchange(rt, tag, n, rowOf)
+	if overlap != nil {
+		overlap()
+	}
+	h.Finish(store)
+}

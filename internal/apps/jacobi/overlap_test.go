@@ -1,0 +1,64 @@
+package jacobi
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// TestOverlapPreservesChecksumAndHidesWire pins the two halves of the
+// overlapped-halo contract: every dst row is a function of the previous
+// buffer only, so computing boundary rows first cannot change a single bit
+// of the result; and the wire time folded behind the interior compute makes
+// the virtual makespan strictly smaller than the serial exchange's.
+func TestOverlapPreservesChecksumAndHidesWire(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Adapt = false
+	base, err := Run(cluster.New(cluster.Uniform(4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Overlap = true
+	ovl, err := Run(cluster.New(cluster.Uniform(4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ovl.Checksum != base.Checksum {
+		t.Fatalf("overlap changed the checksum: %v vs %v", ovl.Checksum, base.Checksum)
+	}
+	if ovl.Elapsed >= base.Elapsed {
+		t.Fatalf("overlap did not hide any wire time: %v vs serial %v", ovl.Elapsed, base.Elapsed)
+	}
+}
+
+// TestOverlapDeterministicAndAdaptive runs the overlapped configuration
+// twice under load with adaptation on: the result must be reproducible and
+// bit-identical to the serial adaptive run's values.
+func TestOverlapDeterministicAndAdaptive(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Drop = core.DropNever
+	spec := loadedSpec(4, 1, 5)
+	serial, err := Run(cluster.New(spec), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Overlap = true
+	a, err := Run(cluster.New(loadedSpec(4, 1, 5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cluster.New(loadedSpec(4, 1, 5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum || a.Elapsed != b.Elapsed {
+		t.Fatalf("overlap run not deterministic: %v/%v vs %v/%v", a.Checksum, a.Elapsed, b.Checksum, b.Elapsed)
+	}
+	if a.Checksum != serial.Checksum {
+		t.Fatalf("adaptive overlap changed the checksum: %v vs %v", a.Checksum, serial.Checksum)
+	}
+	if a.Redists == 0 {
+		t.Fatal("adaptation never redistributed; test scenario broken")
+	}
+}

@@ -241,11 +241,25 @@ func stepOnce(rt *core.Runtime, ps *matrix.Sparse, cfg Config) {
 	if hi < cfg.Rows {
 		down = rt.Dist().Owner(hi)
 	}
+	// Both receives are posted before either send, so the exchange is
+	// deadlock-free by construction — it no longer relies on eager
+	// buffering absorbing both outgoing messages — and the two directions
+	// overlap. The injection charges and arrival stamps are identical to
+	// the former Send/Send/Recv/Recv sequence, so virtual timing is
+	// unchanged.
+	var recvUp, recvDown *mpi.Request
+	var sends [2]*mpi.Request
 	if up >= 0 {
-		comm.Send(up, migrateTag, emUp, 40*len(emUp)+8)
+		recvUp = comm.Irecv(up, migrateTag)
 	}
 	if down >= 0 {
-		comm.Send(down, migrateTag, emDown, 40*len(emDown)+8)
+		recvDown = comm.Irecv(down, migrateTag)
+	}
+	if up >= 0 {
+		sends[0] = comm.Isend(up, migrateTag, emUp, 40*len(emUp)+8)
+	}
+	if down >= 0 {
+		sends[1] = comm.Isend(down, migrateTag, emDown, 40*len(emDown)+8)
 	}
 	insert := func(pts []particle) {
 		for _, pt := range pts {
@@ -253,14 +267,15 @@ func stepOnce(rt *core.Runtime, ps *matrix.Sparse, cfg Config) {
 			appendParticle(ps, g, pt)
 		}
 	}
-	if up >= 0 {
-		p, _ := comm.Recv(up, migrateTag)
+	if recvUp != nil {
+		p, _ := comm.Wait(recvUp)
 		insert(p.([]particle))
 	}
-	if down >= 0 {
-		p, _ := comm.Recv(down, migrateTag)
+	if recvDown != nil {
+		p, _ := comm.Wait(recvDown)
 		insert(p.([]particle))
 	}
+	comm.Waitall(sends[:])
 }
 
 // localChecksum folds every owned particle into an order-independent

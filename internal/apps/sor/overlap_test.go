@@ -1,0 +1,60 @@
+package sor
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// TestOverlapPreservesChecksumAndHidesWire pins the red-black argument for
+// overlap safety: red points read only black neighbours and vice versa, so
+// sweeping boundary rows first within a half-phase is numerically free,
+// while the black sweep still observes the red-updated ghosts because the
+// red exchange finishes before it starts. The makespan must shrink by the
+// hidden wire time; the values must not move a bit.
+func TestOverlapPreservesChecksumAndHidesWire(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Adapt = false
+	base, err := Run(cluster.New(cluster.Uniform(4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Overlap = true
+	ovl, err := Run(cluster.New(cluster.Uniform(4)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ovl.Checksum != base.Checksum {
+		t.Fatalf("overlap changed the checksum: %v vs %v", ovl.Checksum, base.Checksum)
+	}
+	if ovl.Elapsed >= base.Elapsed {
+		t.Fatalf("overlap did not hide any wire time: %v vs serial %v", ovl.Elapsed, base.Elapsed)
+	}
+}
+
+// TestOverlapDeterministicAndAdaptive is the loaded adaptive variant: the
+// overlapped run must be reproducible and preserve the serial checksum.
+func TestOverlapDeterministicAndAdaptive(t *testing.T) {
+	cfg := testConfig()
+	cfg.Core.Drop = core.DropNever
+	serial, err := Run(cluster.New(loadedSpec(4, 1, 5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Overlap = true
+	a, err := Run(cluster.New(loadedSpec(4, 1, 5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cluster.New(loadedSpec(4, 1, 5)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum || a.Elapsed != b.Elapsed {
+		t.Fatalf("overlap run not deterministic: %v/%v vs %v/%v", a.Checksum, a.Elapsed, b.Checksum, b.Elapsed)
+	}
+	if a.Checksum != serial.Checksum {
+		t.Fatalf("adaptive overlap changed the checksum: %v vs %v", a.Checksum, serial.Checksum)
+	}
+}

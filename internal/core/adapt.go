@@ -136,6 +136,7 @@ func (rt *Runtime) enterGrace(loads []int) {
 	rt.collector = timing.NewCollector(rt.node, lo, hi)
 	rt.graceMsgs0 = rt.comm.SentMsgs + rt.comm.RecvMsgs
 	rt.graceBytes0 = rt.comm.SentBytes + rt.comm.RecvBytes
+	rt.graceHidden0 = rt.comm.HiddenWire
 	rt.graceStart = rt.node.Now()
 	rt.cycTimer = nil
 }
@@ -143,6 +144,10 @@ func (rt *Runtime) enterGrace(loads []int) {
 // measureComm converts the traffic accumulated since grace start into
 // per-cycle communication costs (CPU seconds and wire seconds per node),
 // reduced to the cluster-wide maximum so every rank uses the same value.
+// Wire time that the overlap machinery hid behind computation during the
+// grace window is subtracted: an application using nonblocking halos does
+// not stall for that time, so pricing it into candidate distributions would
+// overestimate communication and bias decisions toward too-coarse blocks.
 func (rt *Runtime) measureComm(cycles int) (commCPU, commWire float64, err error) {
 	net := rt.comm.World().Cluster().Net()
 	msgs := float64(rt.comm.SentMsgs + rt.comm.RecvMsgs - rt.graceMsgs0)
@@ -150,6 +155,12 @@ func (rt *Runtime) measureComm(cycles int) (commCPU, commWire float64, err error
 	per := 1.0 / float64(cycles)
 	cpu := (msgs*net.CPUPerMsg.Seconds() + bytes*net.CPUPerByte/1e9) * per
 	wire := (msgs/2*net.Latency.Seconds() + bytes/2/net.BytesPerSec) * per
+	if hidden := (rt.comm.HiddenWire - rt.graceHidden0).Seconds() * per; hidden > 0 {
+		wire -= hidden
+		if wire < 0 {
+			wire = 0
+		}
+	}
 	buf := [2]float64{cpu, wire}
 	if err := rt.comm.AllreduceF64sIntoErr(rt.group, buf[:], mpi.Max); err != nil {
 		return 0, 0, err

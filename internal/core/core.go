@@ -116,6 +116,10 @@ type Config struct {
 	// (0 = only at distribution points). A replica restores the state it
 	// captured, so a smaller interval means fresher recovered data.
 	ReplicaEvery int
+	// RedistMode selects how redistribution Phase 3 drains incoming slabs
+	// (see the constants; the zero value RedistPipelined keeps virtual
+	// timing byte-identical to the legacy blocking drain).
+	RedistMode RedistMode
 	// Telemetry, when non-nil, receives a structured record for every
 	// adaptation action: per-cycle iteration breakdowns, distribution
 	// decisions with the candidates considered, redistribution volumes and
@@ -135,6 +139,31 @@ func DefaultConfig() Config {
 		Alloc:           matrix.Projection,
 	}
 }
+
+// RedistMode selects the Phase 3 drain strategy of applyDistribution.
+type RedistMode int
+
+const (
+	// RedistPipelined (default): post all Irecvs up front, Isend the
+	// outgoing slabs, harvest completions physically with Waitany, then
+	// commit in deterministic schedule order with replay-priced Waits.
+	// Virtual clocks, golden traces and checksums are byte-identical to
+	// RedistBlocking; only the simulator's wall-clock behaviour changes
+	// (senders fill posted requests directly and the receiver parks once
+	// per arrival instead of once per in-order transfer).
+	RedistPipelined RedistMode = iota
+	// RedistBlocking is the legacy serial drain: one blocking RecvErr per
+	// transfer, in schedule order. Kept as the equivalence oracle the
+	// randomized-order suite compares against.
+	RedistBlocking
+	// RedistOverlap commits in deterministic arrival order — transfers
+	// sorted by (arrival stamp, schedule index), dead-sender transfers
+	// last — so a slab stuck behind a slow sender no longer head-of-line
+	// blocks the unpacking of already-arrived ones. Virtual redistribution
+	// stall drops (Event.Stall records it); the virtual timeline
+	// legitimately differs from the blocking one, so this mode is opt-in.
+	RedistOverlap
+)
 
 type adaptState int
 
@@ -199,7 +228,12 @@ type Event struct {
 	Time   vclock.Time
 	Bytes  int64 // payload moved (redist-end)
 	Counts []int // iterations per active node (redist-end)
-	Info   string
+	// Stall is the receive-side stall of the redistribution (redist-end):
+	// virtual time this rank's clock jumped forward waiting for slab
+	// arrivals. RedistOverlap exists to shrink it; the experiment harness
+	// compares it across drain modes.
+	Stall vclock.Duration
+	Info  string
 }
 
 // Runtime is one rank's Dyn-MPI runtime instance.
@@ -233,9 +267,10 @@ type Runtime struct {
 	commWire   float64   // estimated per-node per-cycle wire time (s)
 	redists    int
 
-	graceMsgs0  int64 // counter snapshots at grace start
-	graceBytes0 int64
-	graceStart  vclock.Time
+	graceMsgs0   int64 // counter snapshots at grace start
+	graceBytes0  int64
+	graceHidden0 vclock.Duration // hidden-wire counter at grace start
+	graceStart   vclock.Time
 
 	events []Event
 
@@ -253,6 +288,9 @@ type Runtime struct {
 	schedBuf []drsd.Transfer
 	destBuf  []int
 	outsBuf  []redistOut
+	insBuf   []redistIn
+	reqBuf   []*mpi.Request
+	ordBuf   []int
 
 	// Load-exchange scratch: the per-cycle allgather of load readings goes
 	// through the pooled float64 collective when no removed-node sidecar is
@@ -262,13 +300,14 @@ type Runtime struct {
 	loadInts []int
 
 	// Telemetry state (sink == nil disables everything).
-	sink      telemetry.Sink
-	stamper   *telemetry.Stamper
-	cycVT0    vclock.Time     // cycle-start wall clock
-	cycCPU0   vclock.Duration // cycle-start application CPU time
-	cycMsgs0  int64           // cycle-start message counter
-	cycBytes0 int64           // cycle-start byte counter
-	cycLoad   int             // this rank's load observed this cycle
+	sink       telemetry.Sink
+	stamper    *telemetry.Stamper
+	cycVT0     vclock.Time     // cycle-start wall clock
+	cycCPU0    vclock.Duration // cycle-start application CPU time
+	cycMsgs0   int64           // cycle-start message counter
+	cycBytes0  int64           // cycle-start byte counter
+	cycHidden0 vclock.Duration // cycle-start hidden-wire counter
+	cycLoad    int             // this rank's load observed this cycle
 }
 
 // New creates the runtime for this rank (DMPI_init). All ranks of the
@@ -498,6 +537,7 @@ func (rt *Runtime) beginCycleTelemetry() {
 	rt.cycCPU0 = rt.node.CPUTime()
 	rt.cycMsgs0 = rt.comm.SentMsgs + rt.comm.RecvMsgs
 	rt.cycBytes0 = rt.comm.SentBytes + rt.comm.RecvBytes
+	rt.cycHidden0 = rt.comm.HiddenWire
 	rt.cycLoad = rt.node.CPCount()
 }
 
@@ -528,12 +568,13 @@ func (rt *Runtime) endCycleTelemetry() {
 		share = hi - lo
 	}
 	rt.sink.Emit(telemetry.IterationRecord{
-		Base:     rt.stamp(telemetry.KindIteration),
-		ComputeS: compute,
-		CommS:    comm,
-		WaitS:    wait,
-		Share:    share,
-		Load:     rt.cycLoad,
+		Base:         rt.stamp(telemetry.KindIteration),
+		ComputeS:     compute,
+		CommS:        comm,
+		WaitS:        wait,
+		HiddenWireNs: int64(rt.comm.HiddenWire - rt.cycHidden0),
+		Share:        share,
+		Load:         rt.cycLoad,
 	})
 }
 

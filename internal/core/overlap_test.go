@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/drsd"
+	"repro/internal/mpi"
+	"repro/internal/vclock"
+)
+
+// TestMeasureCommSubtractsHiddenWire pins the decision-path adjustment: an
+// application that overlaps its exchanges accrues HiddenWire during the
+// grace window, and measureComm must price its communication wire at the
+// effective (post-overlap) cost — strictly below what the identical traffic
+// pattern costs when exchanged blockingly — while the CPU component, which
+// overlap cannot hide, stays identical.
+func TestMeasureCommSubtractsHiddenWire(t *testing.T) {
+	const cycles = 4
+	run := func(overlap bool) (cpu, wire float64) {
+		var mu sync.Mutex
+		spec := cluster.Uniform(2)
+		spec.Net.Latency = 2 * vclock.Millisecond
+		err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+			rt := New(c, DefaultConfig())
+			rt.RegisterDense("X", 8, 4)
+			ph := rt.InitPhase(8)
+			ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+			rt.Commit()
+			rt.enterGrace([]int{0, 0})
+			peer := 1 - c.Rank()
+			for tag := 0; tag < cycles; tag++ {
+				if overlap {
+					rq := c.Irecv(peer, tag)
+					c.Isend(peer, tag, nil, 0)
+					c.Node().Compute(10 * vclock.Millisecond)
+					c.Wait(rq)
+				} else {
+					c.Node().Compute(10 * vclock.Millisecond)
+					c.Send(peer, tag, nil, 0)
+					c.Recv(peer, tag)
+				}
+			}
+			ccpu, cwire, err := rt.measureComm(cycles)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			cpu, wire = ccpu, cwire
+			mu.Unlock()
+			rt.Finalize()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cpu, wire
+	}
+	bCPU, bWire := run(false)
+	oCPU, oWire := run(true)
+	if oCPU != bCPU {
+		t.Fatalf("overlap changed the comm CPU measurement: %v vs %v", oCPU, bCPU)
+	}
+	if oWire < 0 {
+		t.Fatalf("negative measured wire %v", oWire)
+	}
+	if oWire >= bWire {
+		t.Fatalf("hidden wire not subtracted: overlapped %v vs blocking %v", oWire, bWire)
+	}
+}

@@ -6,8 +6,30 @@ import (
 
 	"repro/internal/drsd"
 	"repro/internal/matrix"
+	"repro/internal/mpi"
 	"repro/internal/telemetry"
 )
+
+// commitSlab unpacks one received slab into a's resident window — charging
+// the same virtual touches as the per-row formulation (PutRows/UnpackRows
+// price every row) — and recycles the slab.
+func (rt *Runtime) commitSlab(a *regArray, lo, hi int, payload any) {
+	if a.dense != nil {
+		slab, ok := payload.(*denseSlab)
+		if !ok || slab.rows != hi-lo {
+			panic(fmt.Sprintf("core: bad dense redistribution payload for %q", a.name))
+		}
+		a.dense.PutRows(lo, slab.data)
+		putDenseSlab(slab)
+	} else {
+		slab, ok := payload.(*sparseSlab)
+		if !ok || slab.p.Rows() != hi-lo {
+			panic(fmt.Sprintf("core: bad sparse redistribution payload for %q", a.name))
+		}
+		a.sparse.UnpackRows(lo, &slab.p)
+		putSparseSlab(slab)
+	}
+}
 
 // Redistribution payloads travel as contiguous slabs — one allocation per
 // (array, transfer) instead of one per row — recycled through process-wide
@@ -80,6 +102,40 @@ type redistOut struct {
 	bytes int
 }
 
+// redistIn is one incoming transfer staged by the nonblocking drain: the
+// schedule row range and the posted receive. The payload stays inside the
+// request until the deterministic commit loop waits on it — unpacking
+// charges virtual time (PutRows/UnpackRows touch rows), so it must happen
+// in commit order, never in physical arrival order.
+type redistIn struct {
+	lo, hi int
+	req    *mpi.Request
+}
+
+// redistHarvestShuffle, when non-nil, replaces the Waitany harvest loop of
+// the nonblocking drain: it receives the posted requests and must claim
+// each exactly once, in any order it likes. The randomized-order
+// equivalence suite uses it to force adversarial physical harvest orders
+// and assert the committed result is unchanged. Test-only (set via
+// export_test.go); nil in production.
+var redistHarvestShuffle func(c *mpi.Comm, reqs []*mpi.Request)
+
+// arrivalLess orders the overlap commit: arrived transfers by (arrival
+// stamp, schedule index), dead-sender transfers (no arrival) last in
+// schedule order. Both keys are virtual-time deterministic, so the commit
+// order is too.
+func arrivalLess(ins []redistIn, a, b int) bool {
+	ta, oka := ins[a].req.Arrival()
+	tb, okb := ins[b].req.Arrival()
+	if oka != okb {
+		return oka
+	}
+	if oka && ta != tb {
+		return ta < tb
+	}
+	return a < b
+}
+
 // applyDistribution executes a redistribution to newDist (§4.4): for every
 // registered array each node (1) determines ownership from the DRSDs,
 // (2) extracts rows that leave it, (3) resizes its resident window —
@@ -95,6 +151,7 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 		moves = make([]telemetry.ArrayMove, 0, len(rt.order))
 	}
 	lost0 := rt.lostRows
+	stall0 := rt.comm.RecvStall
 	olo, ohi := rt.dist.RangeOf(me)
 
 	for _, name := range rt.order {
@@ -167,55 +224,125 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 			a.sparse.SetWindow(wlo, whi)
 		}
 
-		// Phase 3: ship outgoing slabs (eager sends never block; slab
-		// ownership transfers to the receiver) and then receive incoming
-		// slabs in deterministic schedule order.
+		// Phase 3: exchange exactly the rows the schedule demands. The
+		// nonblocking drain (default) posts every Irecv before shipping, so
+		// peers fill the posted requests directly and this rank parks once
+		// per arrival instead of once per in-order transfer; the blocking
+		// drain is the legacy oracle. Either way the commit — the only part
+		// that advances virtual time — runs in a deterministic order.
 		mv := telemetry.ArrayMove{Name: name}
-		for i := range outs {
-			m := &outs[i]
-			if m.dense != nil {
-				rt.comm.Send(m.to, tag, m.dense, m.bytes)
-				m.dense = nil
-			} else {
-				rt.comm.Send(m.to, tag, m.spars, m.bytes)
-				m.spars = nil
+		if rt.cfg.RedistMode == RedistBlocking {
+			for i := range outs {
+				m := &outs[i]
+				if m.dense != nil {
+					rt.comm.Send(m.to, tag, m.dense, m.bytes)
+					m.dense = nil
+				} else {
+					rt.comm.Send(m.to, tag, m.spars, m.bytes)
+					m.spars = nil
+				}
+				mv.Rows += m.rows
+				mv.Bytes += int64(m.bytes)
+				bytesMoved += int64(m.bytes)
 			}
-			mv.Rows += m.rows
-			mv.Bytes += int64(m.bytes)
-			bytesMoved += int64(m.bytes)
+			for _, tr := range sched {
+				if tr.To != me {
+					continue
+				}
+				payload, st, err := rt.comm.RecvErr(tr.From, tag)
+				if err != nil {
+					// The sender died before shipping these rows. Record the
+					// death and declare the rows lost; the recovery pass at the
+					// next cycle boundary may still restore them from a replica.
+					rt.absorbDead(rt.deadOf(err))
+					rt.loseRows(a, tr.Lo, tr.Hi)
+					continue
+				}
+				bytesMoved += int64(st.Bytes)
+				rt.commitSlab(a, tr.Lo, tr.Hi, payload)
+			}
+		} else {
+			// Post all Irecvs up front (no virtual charge).
+			ins := rt.insBuf[:0]
+			for _, tr := range sched {
+				if tr.To != me {
+					continue
+				}
+				ins = append(ins, redistIn{lo: tr.Lo, hi: tr.Hi, req: rt.comm.Irecv(tr.From, tag)})
+			}
+			rt.insBuf = ins
+			// Isend the outgoing slabs: the same injection charges, in the
+			// same order, as the blocking path's Sends. Send requests
+			// complete at post; Waitall only recycles them.
+			reqs := rt.reqBuf[:0]
+			for i := range outs {
+				m := &outs[i]
+				if m.dense != nil {
+					reqs = append(reqs, rt.comm.Isend(m.to, tag, m.dense, m.bytes))
+					m.dense = nil
+				} else {
+					reqs = append(reqs, rt.comm.Isend(m.to, tag, m.spars, m.bytes))
+					m.spars = nil
+				}
+				mv.Rows += m.rows
+				mv.Bytes += int64(m.bytes)
+				bytesMoved += int64(m.bytes)
+			}
+			rt.comm.Waitall(reqs)
+			// Harvest completions physically, in whatever order they
+			// arrive. No clock moves here: Waitany only claims.
+			reqs = reqs[:0]
+			for k := range ins {
+				reqs = append(reqs, ins[k].req)
+			}
+			rt.reqBuf = reqs
+			if redistHarvestShuffle != nil {
+				redistHarvestShuffle(rt.comm, reqs)
+			} else {
+				for range reqs {
+					rt.comm.Waitany(reqs)
+				}
+			}
+			// Commit deterministically. Pipelined replays the blocking
+			// schedule order with replay-priced Waits — clocks, traces and
+			// checksums stay byte-identical. Overlap commits in arrival
+			// order, trading trace equivalence for lower stall.
+			order := rt.ordBuf[:0]
+			for k := range ins {
+				order = append(order, k)
+			}
+			rt.ordBuf = order
+			if rt.cfg.RedistMode == RedistOverlap {
+				// Insertion sort by (arrival, schedule index): transfer
+				// counts per array are small and the scratch is reused.
+				for i := 1; i < len(order); i++ {
+					for j := i; j > 0 && arrivalLess(ins, order[j], order[j-1]); j-- {
+						order[j], order[j-1] = order[j-1], order[j]
+					}
+				}
+			}
+			for _, k := range order {
+				in := &ins[k]
+				var payload any
+				var st mpi.Status
+				var err error
+				if rt.cfg.RedistMode == RedistOverlap {
+					payload, st, err = rt.comm.WaitErr(in.req)
+				} else {
+					payload, st, err = rt.comm.WaitReplayErr(in.req)
+				}
+				in.req = nil
+				if err != nil {
+					rt.absorbDead(rt.deadOf(err))
+					rt.loseRows(a, in.lo, in.hi)
+					continue
+				}
+				bytesMoved += int64(st.Bytes)
+				rt.commitSlab(a, in.lo, in.hi, payload)
+			}
 		}
 		if rt.sink != nil && (mv.Rows > 0 || mv.Bytes > 0) {
 			moves = append(moves, mv)
-		}
-		for _, tr := range sched {
-			if tr.To != me {
-				continue
-			}
-			payload, st, err := rt.comm.RecvErr(tr.From, tag)
-			if err != nil {
-				// The sender died before shipping these rows. Record the
-				// death and declare the rows lost; the recovery pass at the
-				// next cycle boundary may still restore them from a replica.
-				rt.absorbDead(rt.deadOf(err))
-				rt.loseRows(a, tr.Lo, tr.Hi)
-				continue
-			}
-			bytesMoved += int64(st.Bytes)
-			if a.dense != nil {
-				slab, ok := payload.(*denseSlab)
-				if !ok || slab.rows != tr.Hi-tr.Lo {
-					panic(fmt.Sprintf("core: bad dense redistribution payload for %q", name))
-				}
-				a.dense.PutRows(tr.Lo, slab.data)
-				putDenseSlab(slab)
-			} else {
-				slab, ok := payload.(*sparseSlab)
-				if !ok || slab.p.Rows() != tr.Hi-tr.Lo {
-					panic(fmt.Sprintf("core: bad sparse redistribution payload for %q", name))
-				}
-				a.sparse.UnpackRows(tr.Lo, &slab.p)
-				putSparseSlab(slab)
-			}
 		}
 	}
 
@@ -226,6 +353,7 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 	rt.events = append(rt.events, Event{
 		Kind: EvRedistEnd, Cycle: rt.cycle, Time: rt.node.Now(),
 		Bytes: bytesMoved, Counts: newDist.Counts(),
+		Stall: rt.comm.RecvStall - stall0,
 	})
 	if rt.sink != nil {
 		rows, sent := 0, int64(0)

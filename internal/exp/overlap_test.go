@@ -1,0 +1,62 @@
+package exp
+
+import "testing"
+
+// TestOverlapRedistStallReduction pins the PR's headline redistribution
+// claim: on the skewed-load scenario, arrival-order commits cut the total
+// virtual receive stall of redistribution by at least 20% versus
+// schedule-order commits.
+func TestOverlapRedistStallReduction(t *testing.T) {
+	sched, arrival, err := runOverlapRedist(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched <= 0 || arrival <= 0 {
+		t.Fatalf("degenerate stalls: sched=%.4fs arrival=%.4fs", sched, arrival)
+	}
+	res := &OverlapResult{RedistStallSchedS: sched, RedistStallArrivalS: arrival}
+	if r := res.StallReduction(); r < 0.20 {
+		t.Fatalf("stall reduction %.1f%% below the 20%% bar (sched %.4fs, arrival %.4fs)",
+			r*100, sched, arrival)
+	}
+}
+
+// TestOverlapShape runs the halo overlap study on a reduced ladder and
+// checks the structural claims: overlap never slows an app down, checksums
+// are unchanged (enforced inside RunOverlap), hidden wire is recorded
+// everywhere, and the small-world halo apps get a real makespan win.
+func TestOverlapShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overlap study is slow")
+	}
+	o := DefaultOverlapOptions()
+	o.Nodes = []int{4, 64}
+	res, err := RunOverlap(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 { // 3 apps x 2 sizes
+		t.Fatalf("expected 6 rows, got %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.OverlapS > row.SerialS {
+			t.Errorf("%s/%d: overlap %.3fs slower than serial %.3fs", row.App, row.Nodes, row.OverlapS, row.SerialS)
+		}
+		if row.HiddenS <= 0 {
+			t.Errorf("%s/%d: no hidden wire recorded", row.App, row.Nodes)
+		}
+		if row.HiddenFrac < 0 || row.HiddenFrac > 1 {
+			t.Errorf("%s/%d: hidden fraction %.2f out of range", row.App, row.Nodes, row.HiddenFrac)
+		}
+		if row.App != "particles" && row.Nodes == 4 && row.Delta() <= 0 {
+			t.Errorf("%s/%d: no makespan win from overlap (%.3fs vs %.3fs)", row.App, row.Nodes, row.SerialS, row.OverlapS)
+		}
+	}
+	if res.StallReduction() < 0.20 {
+		t.Errorf("redist stall reduction %.1f%% below the 20%% bar", res.StallReduction()*100)
+	}
+	tb := res.Table()
+	if len(tb.Rows) != len(res.Rows)+1 { // data rows + redist summary row
+		t.Fatalf("table rows: %d", len(tb.Rows))
+	}
+}

@@ -103,3 +103,48 @@ func gatherCost(net cluster.NetParams, n, bytes int) collCost {
 		cpuEach: vclock.Duration(steps)*net.CPUPerMsg + vclock.Duration(vol*net.CPUPerByte),
 	}
 }
+
+// --- nonblocking overlap pricing -----------------------------------------
+//
+// The nonblocking layer (request.go) needs no cost table of its own — every
+// charge it makes is Send/Recv's cpuCost plus a WaitUntil to the arrival
+// stamp — but the *residual stall* of an overlapped receive has a closed
+// form that the decision machinery and the halo-overlap cross-check test
+// price against per-message simulation:
+//
+//	post Isend(b)        sender pays cpuCost(b); arrival = now + wire(b)
+//	compute W            wall time W elapses on the receiver
+//	Wait                 stalls max(0, wire(b) + skew - W), then pays
+//	                     cpuCost(b)
+//
+// where skew is the sender-minus-receiver clock offset when the send
+// completed. nbRecvStall below folds the skew into its overlap argument:
+// callers pass the receiver wall time elapsed since the matching send
+// completed (on a common phase-start reference).
+
+// nbRecvStall predicts the Wait-side stall of a nonblocking receive of b
+// bytes when `overlap` of receiver wall time elapsed between the matching
+// send's completion and the Wait.
+func nbRecvStall(net cluster.NetParams, b int, overlap vclock.Duration) vclock.Duration {
+	if s := wireTime(net, b) - overlap; s > 0 {
+		return s
+	}
+	return 0
+}
+
+// haloOverlapCycle prices one overlapped halo phase on the middle rank of a
+// three-rank chain of unloaded power-1 nodes, all starting the phase at a
+// common time: each edge neighbour posts its single boundary Isend first
+// (completing one cpuCost after phase start), the middle rank posts two
+// Isends (completing at 2*cpuCost), everyone computes `interior`, and the
+// middle rank's two Waits then drain the residual stall. Both incoming
+// arrivals are stamped cpuCost + wireTime after phase start while the first
+// Wait begins at 2*cpuCost + interior, so the overlapped span seen by
+// nbRecvStall is interior + cpuCost and the second Wait never stalls. The
+// result is the middle rank's wall time from phase start to both ghosts
+// stored, excluding the boundary compute that follows.
+func haloOverlapCycle(net cluster.NetParams, b int, interior vclock.Duration) vclock.Duration {
+	c := cpuCost(net, b)
+	stall := nbRecvStall(net, b, interior+c)
+	return 2*c + interior + stall + 2*c
+}

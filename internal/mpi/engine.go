@@ -880,10 +880,12 @@ func (g *Group) leakedOps() int {
 }
 
 // LeakedOps reports the number of collective rendezvous slots left
-// undrained across all groups. After a Run that completes without failing
-// the world this is zero — even when ranks crashed mid-collective — which
-// the failure tests assert; a non-zero count means some op's bookkeeping
-// was orphaned (the bug class this engine's adoption walk eliminates).
+// undrained across all groups, plus the number of nonblocking receive
+// requests still posted in a mailbox. After a Run that completes without
+// failing the world this is zero — even when ranks crashed mid-collective
+// or mid-Wait — which the failure tests assert; a non-zero count means some
+// op's bookkeeping was orphaned (the bug class the adoption walk and the
+// Kill posted-list reclaim eliminate).
 func (w *World) LeakedOps() int {
 	total := 0
 	w.groups.Lock()
@@ -891,5 +893,10 @@ func (w *World) LeakedOps() int {
 		total += g.leakedOps()
 	}
 	w.groups.Unlock()
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		total += len(b.posted)
+		b.mu.Unlock()
+	}
 	return total
 }

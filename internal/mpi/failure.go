@@ -17,7 +17,7 @@ var errCrashed = errors.New("mpi: rank crashed")
 // RankFailedError reports that an operation could not complete because one
 // or more peer ranks are dead. Ranks is sorted and never empty.
 type RankFailedError struct {
-	Op    string // "recv" or "collective"
+	Op    string // "recv", "irecv", "waitall" or "collective"
 	Ranks []int
 }
 
@@ -43,6 +43,18 @@ func (w *World) Kill(rank int) {
 		b.cond.Broadcast()
 		b.mu.Unlock()
 	}
+	// The dead rank's own posted nonblocking receives are orphans: no Wait
+	// will ever drain them. Reclaim them here so they do not count as
+	// leaked operations; live ranks' requests on the dead peer stay posted
+	// and resolve to RankFailedError at their Wait (the broadcast above
+	// re-runs those liveness checks).
+	db := w.boxes[rank]
+	db.mu.Lock()
+	for i := range db.posted {
+		db.posted[i] = nil
+	}
+	db.posted = db.posted[:0]
+	db.mu.Unlock()
 	w.groups.Lock()
 	groups := append([]*Group(nil), w.groups.list...)
 	w.groups.Unlock()

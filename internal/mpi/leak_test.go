@@ -152,3 +152,55 @@ func TestCrashDuringRingReuseLeavesNoLeaks(t *testing.T) {
 		t.Fatalf("%d rendezvous slots leaked across ring reuse, want 0", n)
 	}
 }
+
+// TestCrashMidWaitLeavesNoLeaks is the nonblocking-layer counterpart of the
+// collective crash tests: a rank dies with receives pending on both sides
+// of the wire. Its own posted requests are orphans that Kill must clear;
+// the survivors' requests targeting it must resolve to a RankFailedError
+// naming the dead rank (from WaitErr and from Waitall), the unrelated
+// requests in the same Waitall must still drain, and no posted-request slot
+// may leak at exit.
+func TestCrashMidWaitLeavesNoLeaks(t *testing.T) {
+	spec := cluster.Uniform(3)
+	spec.Faults = []fault.Fault{fault.CrashAtCycle(2, 1)}
+	w := NewWorld(cluster.New(spec))
+	err := w.Run(func(c *Comm) error {
+		switch c.Rank() {
+		case 2:
+			// Die with our own receives posted — orphans Kill must clear.
+			c.Irecv(0, 8)
+			c.Irecv(1, 9)
+			c.InjectCycleFaults(1)
+			return errors.New("crash fault did not fire")
+		case 0:
+			rq := c.Irecv(2, 5)
+			snd := c.Isend(2, 5, nil, 64)
+			if _, _, err := c.WaitErr(snd); err != nil {
+				return err // send requests complete at post
+			}
+			_, _, err := c.WaitErr(rq)
+			var rf *RankFailedError
+			if !errors.As(err, &rf) || rf.Op != "irecv" || len(rf.Ranks) != 1 || rf.Ranks[0] != 2 {
+				return errors.New("want irecv RankFailedError naming rank 2, got " + errString(err))
+			}
+			// The survivors keep talking after the death.
+			c.Send(1, 7, "alive", 8)
+			return nil
+		default:
+			r2 := c.Irecv(2, 6)
+			r0 := c.Irecv(0, 7)
+			err := c.Waitall([]*Request{r2, r0})
+			var rf *RankFailedError
+			if !errors.As(err, &rf) || rf.Op != "waitall" || len(rf.Ranks) != 1 || rf.Ranks[0] != 2 {
+				return errors.New("want waitall RankFailedError naming rank 2, got " + errString(err))
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := w.LeakedOps(); n != 0 {
+		t.Fatalf("%d posted requests leaked after crash, want 0", n)
+	}
+}

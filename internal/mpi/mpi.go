@@ -113,6 +113,12 @@ type mailbox struct {
 	waiting bool
 	wantSrc int
 	wantTag int
+
+	// Nonblocking receives posted by the owning rank, in post order.
+	// Senders fill the first matching entry directly, bypassing the
+	// queues; reqWait is set while the owner blocks in Wait/Waitany.
+	posted  []*Request
+	reqWait bool
 }
 
 func matches(e *envelope, src, tag int) bool {
@@ -218,6 +224,11 @@ func (w *World) fail(err error) {
 	for _, b := range w.boxes {
 		b.mu.Lock()
 		b.waiting = false // the posted pattern is void; everyone unwinds
+		b.reqWait = false
+		for i := range b.posted { // pending requests are void too
+			b.posted[i] = nil
+		}
+		b.posted = b.posted[:0]
 		b.cond.Broadcast()
 		b.mu.Unlock()
 	}
@@ -245,6 +256,21 @@ type Comm struct {
 	// Traffic counters, maintained by this rank only.
 	SentMsgs, SentBytes int64
 	RecvMsgs, RecvBytes int64
+
+	// RecvStall accumulates the receive-side stall: for every blocking
+	// Recv and every request Wait, the span the clock had to jump forward
+	// to reach the message's arrival stamp. Zero when the data was already
+	// there. The redistribution stall metric is a delta of this counter.
+	RecvStall vclock.Duration
+
+	// HiddenWire accumulates the wire time the nonblocking layer hid
+	// behind this rank's compute: for each credited Wait, the in-flight
+	// span between post and arrival minus the part the caller actually
+	// stalled on. Telemetry reports it per cycle as HiddenWireNs.
+	HiddenWire vclock.Duration
+
+	// reqFree is the rank-local nonblocking request pool (see request.go).
+	reqFree []*Request
 
 	// sbuf is a pinned scratch vector for the scalar collectives
 	// (AllreduceSum/Max, AllgatherF64sInto), so depositing a scalar into a
@@ -328,11 +354,37 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 	}
 	c.SentMsgs++
 	c.SentBytes += int64(bytes)
-	box := c.w.boxes[dst]
+	c.w.deliver(dst, env)
+}
+
+// deliver hands env to dst's mailbox. A posted nonblocking receive matching
+// (src,tag) — first in post order — is filled directly, bypassing the
+// queues; otherwise the envelope is enqueued and a blocked receiver with a
+// matching pattern is signalled. Posted requests see a message before a
+// blocking receive posted later for the same key, which preserves FIFO
+// order per (src,tag): Irecv only posts on a queue miss, so a posted
+// request never coexists with an older queued match.
+func (w *World) deliver(dst int, env envelope) {
+	box := w.boxes[dst]
 	box.mu.Lock()
 	env.seq = box.seq
 	box.seq++
-	key := matchKey(c.rank, tag)
+	for i, r := range box.posted {
+		if r.src == env.src && r.tag == env.tag {
+			copy(box.posted[i:], box.posted[i+1:])
+			box.posted[len(box.posted)-1] = nil
+			box.posted = box.posted[:len(box.posted)-1]
+			r.env = env
+			r.done = true
+			if box.reqWait {
+				box.reqWait = false
+				box.cond.Signal()
+			}
+			box.mu.Unlock()
+			return
+		}
+	}
+	key := matchKey(env.src, env.tag)
 	q := box.queues[key]
 	if q == nil {
 		q = &envQueue{}
@@ -409,6 +461,9 @@ func (c *Comm) RecvErr(src, tag int) (any, Status, error) {
 	}
 	box.waiting = false
 	box.mu.Unlock()
+	if d := env.avail.Sub(c.node.Now()); d > 0 {
+		c.RecvStall += d
+	}
 	c.node.WaitUntil(env.avail)
 	c.node.Compute(cpuCost(c.w.cl.Net(), env.bytes))
 	c.RecvMsgs++

@@ -1,0 +1,333 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/vclock"
+)
+
+// Nonblocking point-to-point layer.
+//
+// Isend/Irecv return a pooled *Request; Wait/WaitErr/WaitReplayErr complete
+// it and recycle it. The virtual-time contract mirrors the paper's comm-CPU
+// (beta) accounting:
+//
+//   - Isend charges only the CPU injection cost (cpuCost) at post time. The
+//     wire time (wireTime) elapses in virtual background: the envelope's
+//     avail stamp is computed exactly as in Send, so a matching blocking
+//     Recv observes identical arrival times.
+//   - Irecv charges nothing at post time; it merely registers the match
+//     pattern (or captures an already-queued envelope).
+//   - Wait advances the caller's clock to max(now, arrival) and then charges
+//     the receive-side cpuCost — the same total virtual charge as a blocking
+//     Recv issued at the Wait point. Wire time that elapsed behind the
+//     caller's compute between post and Wait is therefore genuinely free,
+//     and the freed amount is credited to Comm.HiddenWire.
+//
+// Determinism: the only virtual-time effects are in Wait (WaitUntil +
+// Compute), which runs on the caller's own goroutine in program order.
+// Waitany is purely physical — it reports which request happens to be
+// complete without touching any clock — so callers that need deterministic
+// virtual timing must impose their own order on the Wait calls (see
+// internal/core/redist.go for the re-sequenced commit pattern).
+
+// Request is one in-flight nonblocking operation. Requests are owned by the
+// issuing Comm's goroutine, pooled per Comm, and recycled by the Wait
+// family; after a successful or failed Wait the pointer must not be reused.
+type Request struct {
+	c       *Comm
+	send    bool // send requests complete at post time (eager buffering)
+	src     int  // peer rank: source for receives, destination for sends
+	tag     int
+	done    bool // envelope captured (guarded by the owning mailbox mutex)
+	claimed bool // harvested by Waitany, not yet waited on
+	postVT  vclock.Time
+	env     envelope
+}
+
+// Arrival reports the virtual time at which the request's message fully
+// arrives, and whether the envelope is available yet (always true for send
+// requests). It does not advance any clock; deterministic drains use it to
+// order their Wait calls.
+func (r *Request) Arrival() (vclock.Time, bool) {
+	box := r.c.w.boxes[r.c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	if !r.done {
+		return 0, false
+	}
+	return r.env.avail, true
+}
+
+// getReq pops a pooled request (or allocates the pool's high-water mark).
+func (c *Comm) getReq() *Request {
+	if n := len(c.reqFree); n > 0 {
+		r := c.reqFree[n-1]
+		c.reqFree[n-1] = nil
+		c.reqFree = c.reqFree[:n-1]
+		return r
+	}
+	return &Request{c: c}
+}
+
+// putReq resets and recycles a request. Only the owning goroutine calls it.
+func (c *Comm) putReq(r *Request) {
+	r.send, r.done, r.claimed = false, false, false
+	r.env = envelope{} // release the payload reference for the GC
+	c.reqFree = append(c.reqFree, r)
+}
+
+// Isend starts a nonblocking send of payload (bytes long on the wire) to
+// rank dst. The virtual charge at post time is exactly Send's CPU injection
+// cost, and the message is delivered with the same arrival stamp as Send —
+// the two are indistinguishable to the receiver. The returned request is
+// complete immediately (sends are eager-buffered); Wait on it charges
+// nothing and recycles it. Ownership of payload transfers to the receiver,
+// as with Send.
+func (c *Comm) Isend(dst, tag int, payload any, bytes int) *Request {
+	c.checkFailed()
+	if dst < 0 || dst >= c.w.n {
+		panic(fmt.Sprintf("mpi: isend to invalid rank %d", dst))
+	}
+	var faultDelay vclock.Duration
+	if c.flt != nil {
+		c.pollFaults()
+		faultDelay = c.messageFault(dst)
+	}
+	net := c.w.cl.Net()
+	c.node.Compute(cpuCost(net, bytes))
+	env := envelope{
+		src:     c.rank,
+		tag:     tag,
+		payload: payload,
+		bytes:   bytes,
+		avail:   c.node.Now().Add(wireTime(net, bytes) + faultDelay),
+	}
+	c.SentMsgs++
+	c.SentBytes += int64(bytes)
+	c.w.deliver(dst, env)
+	r := c.getReq()
+	r.send = true
+	r.src = dst
+	r.tag = tag
+	r.done = true
+	r.postVT = c.node.Now()
+	r.env.avail = env.avail
+	r.env.bytes = bytes
+	return r
+}
+
+// Irecv posts a nonblocking receive for a message from src with the given
+// tag. No virtual time is charged at post; the receive-side CPU cost is
+// charged by Wait. Wildcards (AnySource/AnyTag) are not supported: a posted
+// request is matched by senders, and wildcard matching at the sender would
+// make completion order depend on physical goroutine scheduling.
+func (c *Comm) Irecv(src, tag int) *Request {
+	c.checkFailed()
+	if src == AnySource || tag == AnyTag {
+		panic("mpi: Irecv does not support AnySource/AnyTag")
+	}
+	if src < 0 || src >= c.w.n {
+		panic(fmt.Sprintf("mpi: irecv from invalid rank %d", src))
+	}
+	if c.flt != nil {
+		c.pollFaults()
+	}
+	r := c.getReq()
+	r.src, r.tag = src, tag
+	r.postVT = c.node.Now()
+	box := c.w.boxes[c.rank]
+	box.mu.Lock()
+	if env, ok := box.take(src, tag); ok {
+		r.env = env
+		r.done = true
+	} else {
+		box.posted = append(box.posted, r)
+	}
+	box.mu.Unlock()
+	return r
+}
+
+// removePosted unlinks r from box.posted, preserving order. Callers hold
+// box.mu. The backing array is kept, so the posted list is allocation-free
+// once its high-water mark is reached.
+func removePosted(box *mailbox, r *Request) {
+	for i, p := range box.posted {
+		if p == r {
+			copy(box.posted[i:], box.posted[i+1:])
+			box.posted[len(box.posted)-1] = nil
+			box.posted = box.posted[:len(box.posted)-1]
+			return
+		}
+	}
+}
+
+// waitErr completes req: block until the envelope is captured (physical),
+// then advance the caller's clock to the arrival time and charge the
+// receive-side CPU cost (virtual). credit selects whether wire time hidden
+// behind the caller's compute is accumulated into Comm.HiddenWire; the
+// replay path (deterministic re-sequenced drains whose clocks match the
+// blocking implementation exactly) passes false because nothing was
+// genuinely hidden there.
+func (c *Comm) waitErr(req *Request, credit bool) (any, Status, error) {
+	c.checkFailed()
+	if c.flt != nil {
+		c.pollFaults() // same injection point as RecvErr entry
+	}
+	if req.send {
+		c.putReq(req)
+		return nil, Status{}, nil
+	}
+	box := c.w.boxes[c.rank]
+	box.mu.Lock()
+	for !req.done {
+		if c.w.failed.Load() {
+			box.mu.Unlock()
+			panic(errFailed)
+		}
+		if c.w.deadCount.Load() > 0 && c.w.dead[req.src].Load() {
+			removePosted(box, req)
+			box.mu.Unlock()
+			src := req.src
+			c.putReq(req)
+			return nil, Status{}, &RankFailedError{Op: "irecv", Ranks: []int{src}}
+		}
+		box.reqWait = true
+		box.cond.Wait()
+	}
+	box.mu.Unlock()
+	env := req.env
+	now := c.node.Now()
+	stall := env.avail.Sub(now)
+	if stall < 0 {
+		stall = 0
+	}
+	c.RecvStall += stall
+	c.node.WaitUntil(env.avail)
+	c.node.Compute(cpuCost(c.w.cl.Net(), env.bytes))
+	c.RecvMsgs++
+	c.RecvBytes += int64(env.bytes)
+	if credit {
+		// Wire time that elapsed between post and Wait minus the part the
+		// caller still stalled on: the communication this overlap hid.
+		if inflight := env.avail.Sub(req.postVT); inflight > 0 {
+			if hidden := inflight - stall; hidden > 0 {
+				c.HiddenWire += hidden
+			}
+		}
+	}
+	st := Status{Source: env.src, Tag: env.tag, Bytes: env.bytes}
+	payload := env.payload
+	c.putReq(req)
+	return payload, st, nil
+}
+
+// Wait completes req, failing the whole world if the peer died (mirroring
+// Recv). For receives it returns the payload and status.
+func (c *Comm) Wait(req *Request) (any, Status) {
+	p, st, err := c.waitErr(req, true)
+	if err != nil {
+		c.w.fail(fmt.Errorf("rank %d: %w", c.rank, err))
+		panic(errFailed)
+	}
+	return p, st
+}
+
+// WaitErr completes req with bounded waiting under failures: when the peer
+// is dead and the message never arrived it returns a *RankFailedError
+// naming it. The request is recycled in every outcome.
+func (c *Comm) WaitErr(req *Request) (any, Status, error) {
+	return c.waitErr(req, true)
+}
+
+// WaitReplayErr is WaitErr without the hidden-wire credit. Deterministic
+// re-sequenced drains (redistribution's schedule-order commit) use it: their
+// clock advance replays the blocking implementation exactly, so no wire time
+// was genuinely hidden and crediting it would overstate the overlap.
+func (c *Comm) WaitReplayErr(req *Request) (any, Status, error) {
+	return c.waitErr(req, false)
+}
+
+// Waitall completes every non-nil request in reqs (nilling the slice entries
+// as it goes, so the pooled requests cannot be reused by mistake). Payloads
+// are discarded — callers that need them use WaitErr per request. If peers
+// died, it still drains every request and returns one *RankFailedError
+// naming all dead peers encountered.
+func (c *Comm) Waitall(reqs []*Request) error {
+	var dead []int
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		reqs[i] = nil
+		if _, _, err := c.waitErr(r, true); err != nil {
+			var rf *RankFailedError
+			if !errors.As(err, &rf) {
+				return err
+			}
+			dead = append(dead, rf.Ranks...)
+		}
+	}
+	if len(dead) > 0 {
+		sort.Ints(dead)
+		keep := dead[:1]
+		for _, d := range dead[1:] {
+			if d != keep[len(keep)-1] {
+				keep = append(keep, d)
+			}
+		}
+		return &RankFailedError{Op: "waitall", Ranks: keep}
+	}
+	return nil
+}
+
+// Waitany blocks until some unclaimed request in reqs is physically
+// complete (or can only fail because its peer is dead), marks it claimed,
+// and returns its index; the caller then runs Wait/WaitErr on it. It
+// returns -1 when every entry is nil or already claimed. Waitany advances
+// no virtual clock and charges no cost — it answers "what has arrived?",
+// not "when?" — so harvest order may be physically nondeterministic while
+// the virtual timeline stays fully determined by the subsequent Wait calls.
+func (c *Comm) Waitany(reqs []*Request) int {
+	c.checkFailed()
+	box := c.w.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		pending := false
+		for i, r := range reqs {
+			if r == nil || r.claimed {
+				continue
+			}
+			if r.done || r.send ||
+				(c.w.deadCount.Load() > 0 && c.w.dead[r.src].Load()) {
+				r.claimed = true
+				return i
+			}
+			pending = true
+		}
+		if !pending {
+			return -1
+		}
+		if c.w.failed.Load() {
+			panic(errFailed)
+		}
+		box.reqWait = true
+		box.cond.Wait()
+	}
+}
+
+// Test reports whether req is physically complete: Wait on it would not
+// block. A receive whose peer died without sending also tests true — the
+// Wait would return its RankFailedError immediately. No clock is touched.
+func (c *Comm) Test(req *Request) bool {
+	if req.send {
+		return true
+	}
+	box := c.w.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	return req.done || (c.w.deadCount.Load() > 0 && c.w.dead[req.src].Load())
+}

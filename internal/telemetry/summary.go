@@ -8,12 +8,13 @@ import (
 
 // NodeSummary aggregates one node's iteration records.
 type NodeSummary struct {
-	Node      int
-	Cycles    int
-	ComputeS  float64
-	CommS     float64
-	WaitS     float64
-	LastShare int
+	Node        int
+	Cycles      int
+	ComputeS    float64
+	CommS       float64
+	WaitS       float64
+	HiddenWireS float64 // wire time hidden behind computation by overlap
+	LastShare   int
 }
 
 // Summary is the aggregate view of a trace, the basis of the dynexp
@@ -47,6 +48,7 @@ func Summarize(recs []Record) *Summary {
 			ns.ComputeS += v.ComputeS
 			ns.CommS += v.CommS
 			ns.WaitS += v.WaitS
+			ns.HiddenWireS += float64(v.HiddenWireNs) / 1e9
 			ns.LastShare = v.Share
 		case DecisionRecord:
 			s.Decisions++
@@ -87,9 +89,14 @@ func (s *Summary) WriteTable(w io.Writer) {
 	if len(s.Nodes) > 0 {
 		fmt.Fprintf(w, "  %-5s %7s %11s %11s %11s %7s\n",
 			"node", "cycles", "compute(s)", "comm(s)", "wait(s)", "share")
+		hidden := 0.0
 		for _, ns := range s.Nodes {
 			fmt.Fprintf(w, "  %-5d %7d %11.4f %11.4f %11.4f %7d\n",
 				ns.Node, ns.Cycles, ns.ComputeS, ns.CommS, ns.WaitS, ns.LastShare)
+			hidden += ns.HiddenWireS
+		}
+		if hidden > 0 {
+			fmt.Fprintf(w, "  hidden wire: %.4fs overlapped behind computation across all nodes\n", hidden)
 		}
 	}
 	for _, m := range s.Memberships {

@@ -82,8 +82,13 @@ type IterationRecord struct {
 	ComputeS float64 `json:"compute_s"` // CPU seconds spent computing
 	CommS    float64 `json:"comm_s"`    // CPU seconds spent on message processing
 	WaitS    float64 `json:"wait_s"`    // wall seconds blocked (recv, collectives, CP delay)
-	Share    int     `json:"share"`     // iterations assigned to this node
-	Load     int     `json:"load"`      // competing processes observed this cycle
+	// HiddenWireNs is the virtual wire time that elapsed behind computation
+	// between posting a nonblocking receive and waiting on it — communication
+	// the overlap machinery made free. Zero (and omitted) on purely blocking
+	// cycles.
+	HiddenWireNs int64 `json:"hidden_wire_ns,omitempty"`
+	Share        int   `json:"share"` // iterations assigned to this node
+	Load         int   `json:"load"`  // competing processes observed this cycle
 }
 
 // Candidate is one distribution the decision machinery considered.

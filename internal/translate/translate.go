@@ -13,7 +13,12 @@
 //	arr.RowHead(i+c)  arr.Append(i+c, …)  arr.PackRow(i+c)
 //
 // where i is the loop variable, classifying each as a read or a write from
-// its syntactic context (assignment target vs operand). The result is the
+// its syntactic context (assignment target vs operand). Loop bounds may
+// carry constant offsets (`for g := lo+1; g < hi-1; g++`, the interior
+// loop of an overlapped halo sweep), and row-kernel closures — single
+// parameter function literals bound to an identifier and called from a
+// partitioned loop with the loop index ±const — are analysed as if
+// inlined, with offsets shifted by the call argument. The result is the
 // access list the program must declare, which callers can compare against
 // the declarations actually present (the Verify entry point) or print as
 // ready-to-paste AddAccess calls (cmd/drsdgen).
@@ -88,6 +93,7 @@ func AnalyzeFile(filename string, src any) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{}
+	kernels := collectKernels(file)
 	ast.Inspect(file, func(n ast.Node) bool {
 		loop, ok := n.(*ast.ForStmt)
 		if !ok {
@@ -97,7 +103,7 @@ func AnalyzeFile(filename string, src any) (*Result, error) {
 		if !bounded {
 			return true
 		}
-		collectLoop(fset, loop.Body, iv, res)
+		collectLoop(fset, loop.Body, iv, 0, kernels, map[string]bool{}, res)
 		return true
 	})
 	ast.Inspect(file, func(n ast.Node) bool {
@@ -141,11 +147,11 @@ func loopVar(loop *ast.ForStmt) (string, bool) {
 	if !ok || (cond.Op != token.LSS && cond.Op != token.LEQ) {
 		return "", false
 	}
-	hi, ok := cond.Y.(*ast.Ident)
+	hi, ok := boundIdent(cond.Y)
 	if !ok {
 		return "", false
 	}
-	lo, ok := assign.Rhs[0].(*ast.Ident)
+	lo, ok := boundIdent(assign.Rhs[0])
 	if !ok {
 		// `for g := 0; ...` style: only bounded loops over Bounds()
 		// variables are partitioned.
@@ -157,6 +163,59 @@ func loopVar(loop *ast.ForStmt) (string, bool) {
 	return name.Name, true
 }
 
+// boundIdent resolves a loop bound to its underlying partition-bound
+// identifier, looking through constant offsets: `lo`, `lo+1`, `hi-1`. The
+// interior loop of an overlapped halo sweep (`for g := lo+1; g < hi-1;
+// g++`) spans a subset of the partition, so the same regular-section model
+// applies.
+func boundIdent(e ast.Expr) (*ast.Ident, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x, true
+	case *ast.ParenExpr:
+		return boundIdent(x.X)
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD && x.Op != token.SUB {
+			return nil, false
+		}
+		if lit, ok := x.Y.(*ast.BasicLit); ok && lit.Kind == token.INT {
+			return boundIdent(x.X)
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// collectKernels finds row-kernel closures: single-parameter function
+// literals bound to an identifier (`computeRow := func(g int) { ... }`).
+// A partitioned loop that calls such a kernel with the loop index (±const)
+// is analysed as if the kernel body were inlined at the call site, with
+// the kernel's parameter standing for the shifted loop index.
+func collectKernels(file *ast.File) map[string]*ast.FuncLit {
+	kernels := map[string]*ast.FuncLit{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		name, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lit, ok := as.Rhs[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		params := lit.Type.Params.List
+		if len(params) != 1 || len(params[0].Names) != 1 {
+			return true
+		}
+		kernels[name.Name] = lit
+		return true
+	})
+	return kernels
+}
+
 func boundsName(s string) bool {
 	switch s {
 	case "lo", "hi", "start", "end", "startIter", "endIter", "start_iter", "end_iter", "rlo", "rhi", "blo", "bhi":
@@ -165,12 +224,35 @@ func boundsName(s string) bool {
 	return false
 }
 
-// collectLoop walks a partitioned loop body for row references.
-func collectLoop(fset *token.FileSet, body *ast.BlockStmt, iv string, res *Result) {
+// collectLoop walks a partitioned loop (or inlined kernel) body for row
+// references made at index iv±const; shift is the constant offset the call
+// chain has already applied to iv (0 at the loop itself). Kernel calls
+// recurse with the kernel parameter as the new index variable; inlining
+// guards against self-recursive kernels.
+func collectLoop(fset *token.FileSet, body ast.Node, iv string, shift int, kernels map[string]*ast.FuncLit, inlining map[string]bool, res *Result) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && len(call.Args) == 1 {
+			if lit := kernels[id.Name]; lit != nil && !inlining[id.Name] {
+				off, refsLoop, err := offsetOf(call.Args[0], iv)
+				if err != nil {
+					res.Issues = append(res.Issues, Issue{
+						Pos:    fset.Position(call.Pos()),
+						Reason: fmt.Sprintf("%s: %v", id.Name, err),
+					})
+					return true
+				}
+				if refsLoop {
+					param := lit.Type.Params.List[0].Names[0].Name
+					inlining[id.Name] = true
+					collectLoop(fset, lit.Body, param, shift+off, kernels, inlining, res)
+					delete(inlining, id.Name)
+				}
+				return true
+			}
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
 		if !ok || !rowMethods[sel.Sel.Name] || len(call.Args) == 0 {
@@ -195,7 +277,7 @@ func collectLoop(fset *token.FileSet, body *ast.BlockStmt, iv string, res *Resul
 			Array: recv.Name,
 			Write: writeMethods[sel.Sel.Name], // element stores are detected in the write pass
 			Step:  1,
-			Off:   off,
+			Off:   off + shift,
 		})
 		return true
 	})
@@ -275,8 +357,9 @@ func AnalyzeFileWithWrites(filename string, src any) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	kernels := collectKernels(file)
 	writes := map[string]map[int]bool{} // array -> offsets written
-	record := func(e ast.Expr, iv string) {
+	record := func(e ast.Expr, iv string, shift int) {
 		call := rowCallIn(e)
 		if call == nil {
 			return
@@ -293,7 +376,34 @@ func AnalyzeFileWithWrites(filename string, src any) (*Result, error) {
 		if writes[recv.Name] == nil {
 			writes[recv.Name] = map[int]bool{}
 		}
-		writes[recv.Name][off] = true
+		writes[recv.Name][off+shift] = true
+	}
+	var scanWrites func(body ast.Node, iv string, shift int, inlining map[string]bool)
+	scanWrites = func(body ast.Node, iv string, shift int, inlining map[string]bool) {
+		ast.Inspect(body, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					record(lhs, iv, shift)
+				}
+			case *ast.CallExpr:
+				if id, ok := s.Fun.(*ast.Ident); ok {
+					if id.Name == "copy" && len(s.Args) == 2 {
+						record(s.Args[0], iv, shift)
+					} else if lit := kernels[id.Name]; lit != nil && len(s.Args) == 1 && !inlining[id.Name] {
+						if off, refs, err := offsetOf(s.Args[0], iv); err == nil && refs {
+							param := lit.Type.Params.List[0].Names[0].Name
+							inlining[id.Name] = true
+							scanWrites(lit.Body, param, shift+off, inlining)
+							delete(inlining, id.Name)
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				record(s.X, iv, shift)
+			}
+			return true
+		})
 	}
 	ast.Inspect(file, func(n ast.Node) bool {
 		loop, ok := n.(*ast.ForStmt)
@@ -304,21 +414,7 @@ func AnalyzeFileWithWrites(filename string, src any) (*Result, error) {
 		if !bounded {
 			return true
 		}
-		ast.Inspect(loop.Body, func(m ast.Node) bool {
-			switch s := m.(type) {
-			case *ast.AssignStmt:
-				for _, lhs := range s.Lhs {
-					record(lhs, iv)
-				}
-			case *ast.CallExpr:
-				if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "copy" && len(s.Args) == 2 {
-					record(s.Args[0], iv)
-				}
-			case *ast.IncDecStmt:
-				record(s.X, iv)
-			}
-			return true
-		})
+		scanWrites(loop.Body, iv, 0, map[string]bool{})
 		return true
 	})
 	for i, a := range res.Accesses {

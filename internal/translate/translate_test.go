@@ -246,3 +246,60 @@ func TestRealApplications(t *testing.T) {
 		}
 	}
 }
+
+// overlapSrc is the overlapped-halo idiom: the stencil lives in a
+// row-kernel closure, boundary rows are computed outside any partitioned
+// loop, and the interior loop runs over offset bounds (lo+1, hi-1) calling
+// the kernel with a shifted index.
+const overlapSrc = `package main
+
+func kernel(a, b *Dense, ph *Phase, n int) {
+	computeRow := func(g int) {
+		up, mid, down := b.Row(g-1), b.Row(g), b.Row(g+1)
+		copy(a.Row(g), mid)
+		_ = up
+		_ = down
+	}
+	for t := 0; t < 100; t++ {
+		lo, hi := ph.Bounds()
+		computeRow(lo)
+		computeRow(hi - 1)
+		for g := lo + 1; g < hi-1; g++ {
+			computeRow(g + 1)
+		}
+	}
+}
+`
+
+// TestDeriveKernelClosureAccesses pins the analyzer's closure-following:
+// accesses inside a row-kernel closure are derived with offsets shifted by
+// the call argument (here +1), offset loop bounds are recognised, and the
+// copy through the kernel body still marks the write.
+func TestDeriveKernelClosureAccesses(t *testing.T) {
+	res, err := AnalyzeFileWithWrites("overlap.go", overlapSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Issues) != 0 {
+		t.Fatalf("issues: %v", res.Issues)
+	}
+	want := map[string]bool{ // "array off" -> write
+		"a +1": true,  // copy(a.Row(g), …) shifted by the g+1 call
+		"b +0": false, // b.Row(g-1) shifted by +1
+		"b +1": false,
+		"b +2": false,
+	}
+	if len(res.Accesses) != len(want) {
+		t.Fatalf("derived %v, want %d accesses", res.Accesses, len(want))
+	}
+	for _, a := range res.Accesses {
+		key := a.Array + " " + plus(a.Off)
+		w, ok := want[key]
+		if !ok {
+			t.Fatalf("unexpected access %v", a)
+		}
+		if a.Write != w {
+			t.Fatalf("access %v write=%v, want %v", a, a.Write, w)
+		}
+	}
+}
