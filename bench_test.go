@@ -470,3 +470,20 @@ func benchCollectives(b *testing.B, n int) {
 func BenchmarkCollectiveN64(b *testing.B)   { benchCollectives(b, 64) }
 func BenchmarkCollectiveN256(b *testing.B)  { benchCollectives(b, 256) }
 func BenchmarkCollectiveN1024(b *testing.B) { benchCollectives(b, 1024) }
+
+// BenchmarkSweepSmoke runs the full CI smoke sweep — 64 deterministic worlds
+// multiplexed under one shared virtual-time scheduler — once per iteration.
+// It is the end-to-end guardrail for the sweep engine: scheduling overhead,
+// heap churn in the world heap, and per-cell aggregation all land here.
+func BenchmarkSweepSmoke(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunSweep(exp.DefaultSweepOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Cells) != 64 {
+			b.Fatalf("smoke sweep produced %d cells, want 64", len(r.Cells))
+		}
+	}
+}

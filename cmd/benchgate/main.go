@@ -1,7 +1,7 @@
 // Command benchgate compares two `go test -bench` output files and fails
 // when the new run regresses: it is the CI allocation/latency budget.
 //
-//	benchgate -old baseline.txt -new current.txt [-threshold 0.20]
+//	benchgate -old baseline.txt -new current.txt [-threshold 0.20] [-require 'regex']
 //
 // For every benchmark present in both files the median time/op and median
 // allocs/op are compared. The gate fails (exit 1) when either grows by more
@@ -9,6 +9,12 @@
 // baseline always fails, since 0 → anything is an unbounded relative
 // regression. Benchmarks present on only one side are reported but never
 // fail the gate, so adding or removing benchmarks doesn't wedge CI.
+//
+// -require closes the loophole that leaves: it takes the same alternation
+// regex CI passes to `go test -bench`, and every top-level `|` alternative
+// must match at least one benchmark in the new run. A hot-path benchmark
+// that silently disappears (renamed, deleted, build-tagged out) fails the
+// gate instead of sailing through as a "removed (baseline only)" footnote.
 //
 // Medians (rather than means) make the gate robust to one noisy sample when
 // benchmarks run with -count > 1. Time thresholds are deliberately loose —
@@ -22,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -198,7 +205,58 @@ func gate(old, new map[string]*bench, threshold float64) (regressions []regressi
 	return regressions, report
 }
 
-func run(oldPath, newPath string, threshold float64, w io.Writer) (int, error) {
+// splitAlternatives breaks a regex into its top-level `|` alternatives,
+// ignoring `|` nested inside groups or character classes, so a CI hot-path
+// list like `BenchmarkA|BenchmarkB(x|y)` yields two requirements, not three.
+func splitAlternatives(expr string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range expr {
+		switch r {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case '|':
+			if depth == 0 {
+				out = append(out, expr[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, expr[start:])
+}
+
+// missingRequired returns the -require alternatives that match no benchmark
+// in the run. Matching is unanchored, mirroring `go test -bench` semantics,
+// so the requirement list can be the exact regex handed to -bench.
+func missingRequired(cur map[string]*bench, expr string) ([]string, error) {
+	var missing []string
+	for _, alt := range splitAlternatives(expr) {
+		alt = strings.TrimSpace(alt)
+		if alt == "" {
+			continue
+		}
+		re, err := regexp.Compile(alt)
+		if err != nil {
+			return nil, fmt.Errorf("bad -require alternative %q: %v", alt, err)
+		}
+		found := false
+		for name := range cur {
+			if re.MatchString(name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, alt)
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+func run(oldPath, newPath string, threshold float64, require string, w io.Writer) (int, error) {
 	parse := func(path string) (map[string]*bench, error) {
 		f, err := os.Open(path)
 		if err != nil {
@@ -217,6 +275,19 @@ func run(oldPath, newPath string, threshold float64, w io.Writer) (int, error) {
 	}
 	if len(cur) == 0 {
 		return 2, fmt.Errorf("no benchmark results in %s", newPath)
+	}
+	if require != "" {
+		missing, err := missingRequired(cur, require)
+		if err != nil {
+			return 2, err
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(w, "benchgate: %d required benchmark(s) missing from %s:\n", len(missing), newPath)
+			for _, m := range missing {
+				fmt.Fprintf(w, "  %s matched nothing\n", m)
+			}
+			return 1, nil
+		}
 	}
 	regs, report := gate(old, cur, threshold)
 	for _, line := range report {
@@ -237,12 +308,13 @@ func main() {
 	oldPath := flag.String("old", "", "baseline `file` (go test -bench output)")
 	newPath := flag.String("new", "", "current `file` (go test -bench output)")
 	threshold := flag.Float64("threshold", 0.20, "allowed regression `fraction` per metric")
+	require := flag.String("require", "", "`regex` whose every top-level | alternative must match a benchmark in -new")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchgate -old baseline.txt -new current.txt [-threshold 0.20]")
+		fmt.Fprintln(os.Stderr, "usage: benchgate -old baseline.txt -new current.txt [-threshold 0.20] [-require 'regex']")
 		os.Exit(2)
 	}
-	code, err := run(*oldPath, *newPath, *threshold, os.Stdout)
+	code, err := run(*oldPath, *newPath, *threshold, *require, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 	}

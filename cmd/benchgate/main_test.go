@@ -122,7 +122,7 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 
 	var out strings.Builder
-	code, err := run(oldPath, newPath, 0.20, &out)
+	code, err := run(oldPath, newPath, 0.20, "", &out)
 	if err != nil || code != 1 {
 		t.Fatalf("regressed run: code=%d err=%v, want 1,nil\n%s", code, err, out.String())
 	}
@@ -131,8 +131,81 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 
 	out.Reset()
-	code, err = run(oldPath, oldPath, 0.20, &out)
+	code, err = run(oldPath, oldPath, 0.20, "", &out)
 	if err != nil || code != 0 {
 		t.Fatalf("clean run: code=%d err=%v, want 0,nil\n%s", code, err, out.String())
+	}
+}
+
+func TestSplitAlternatives(t *testing.T) {
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{"BenchmarkA", []string{"BenchmarkA"}},
+		{"BenchmarkA|BenchmarkB", []string{"BenchmarkA", "BenchmarkB"}},
+		{"BenchmarkA|BenchmarkB(x|y)|Benchmark[a|b]", []string{"BenchmarkA", "BenchmarkB(x|y)", "Benchmark[a|b]"}},
+	}
+	for _, tc := range cases {
+		got := splitAlternatives(tc.expr)
+		if len(got) != len(tc.want) {
+			t.Errorf("splitAlternatives(%q) = %v, want %v", tc.expr, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("splitAlternatives(%q)[%d] = %q, want %q", tc.expr, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestMissingRequired(t *testing.T) {
+	cur := parse(t, baselineTxt)
+	missing, err := missingRequired(cur, "BenchmarkMPISendRecv|BenchmarkSuccessiveBalancing")
+	if err != nil || len(missing) != 0 {
+		t.Fatalf("satisfied requirements reported missing: %v, %v", missing, err)
+	}
+	missing, err = missingRequired(cur, "BenchmarkMPISendRecv|BenchmarkVanished|BenchmarkAlsoGone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 2 || missing[0] != "BenchmarkAlsoGone" || missing[1] != "BenchmarkVanished" {
+		t.Errorf("missing = %v, want the two absent alternatives sorted", missing)
+	}
+	if _, err := missingRequired(cur, "Benchmark(["); err == nil {
+		t.Error("invalid regex accepted")
+	}
+}
+
+// TestRunRequireGate pins the CLI behaviour -require was added for: a
+// required benchmark vanishing from the new run fails the gate even though
+// removals are otherwise reported without failing.
+func TestRunRequireGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	if err := os.WriteFile(oldPath, []byte(baselineTxt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dropped := strings.ReplaceAll(baselineTxt, "BenchmarkRedistributionSchedule", "BenchmarkRenamedAway")
+	if err := os.WriteFile(newPath, []byte(dropped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	req := "BenchmarkMPISendRecv|BenchmarkRedistributionSchedule"
+	var out strings.Builder
+	code, err := run(oldPath, newPath, 0.20, req, &out)
+	if err != nil || code != 1 {
+		t.Fatalf("dropped required benchmark: code=%d err=%v, want 1,nil\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkRedistributionSchedule matched nothing") {
+		t.Errorf("report does not name the missing requirement:\n%s", out.String())
+	}
+
+	out.Reset()
+	code, err = run(oldPath, oldPath, 0.20, req, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("satisfied -require run: code=%d err=%v, want 0,nil\n%s", code, err, out.String())
 	}
 }

@@ -9,10 +9,12 @@
 //	dynexp fig7        — particle simulation, grace period 1 vs 5
 //	dynexp alloc       — §4.1 projection vs contiguous allocation
 //	dynexp microbench  — §4.3 pair-fraction table and method comparison
+//	dynexp virt        — virtualisation ablation (scheduler floor calibration)
 //	dynexp trace       — canonical loaded-4-node run with structured telemetry
 //	dynexp scale       — large-world collective soak (64/256/1024 ranks)
 //	dynexp overlap     — nonblocking halo overlap and redistribution stall study
-//	dynexp all         — everything above (except trace and scale)
+//	dynexp sweep       — multi-world parameter sweep under one shared scheduler
+//	dynexp all         — everything above (except trace, scale and sweep)
 //
 // The -paper flag selects the paper's original input sizes (slower); the
 // default scaled inputs preserve the computation/communication ratios (see
@@ -36,6 +38,13 @@
 // -replicate enables dense-array buddy replication so a crashed rank's rows
 // are reconstructed instead of lost; -replica-every refreshes the replicas
 // every N cycles.
+//
+// The sweep subcommand multiplexes many worlds under one virtual-time
+// scheduler (see internal/sweep): -smoke runs the CI-sized 64-cell grid,
+// -grid overlays a custom axis/workload spec, -jobs sets the worker-pool
+// width, and -out writes the per-cell results as JSONL. The text report on
+// stdout is deterministic apart from lines prefixed "# wall-time:"; strip
+// those and two runs byte-compare equal regardless of -jobs or GOMAXPROCS.
 package main
 
 import (
@@ -53,7 +62,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] [-fault specs] [-replicate] [-replica-every n] [-scale-n n] [-cpuprofile f] [-memprofile f] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|scale|overlap|all}\n")
+	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] [-fault specs] [-replicate] [-replica-every n] [-scale-n n] [-smoke] [-grid spec] [-jobs n] [-out f.jsonl] [-cpuprofile f] [-memprofile f] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|scale|overlap|sweep|all}\n")
 	os.Exit(2)
 }
 
@@ -66,6 +75,10 @@ func main() {
 	replicate := flag.Bool("replicate", false, "enable dense-array buddy replication for crash recovery (trace subcommand)")
 	replicaEvery := flag.Int("replica-every", 0, "refresh buddy replicas every n cycles (0 = only at redistributions)")
 	scaleN := flag.Int("scale-n", 0, "run the scale soak at this single world size (0 = the default 64/256/1024 ladder)")
+	smoke := flag.Bool("smoke", false, "run the CI-sized smoke grid (sweep subcommand)")
+	gridSpec := flag.String("grid", "", "overlay a grid spec, e.g. 'scen=jacobi;ranks=4,8;gp=3' (sweep subcommand)")
+	jobs := flag.Int("jobs", 4, "worker-pool width: worlds stepped concurrently per scheduler round (sweep subcommand)")
+	outFile := flag.String("out", "", "write per-cell sweep results as JSONL to this file (sweep subcommand)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiment(s) to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	flag.Usage = usage
@@ -124,6 +137,12 @@ func main() {
 	run := func(name string) error {
 		start := time.Now()
 		defer func() {
+			if name == "sweep" {
+				// The sweep report carries its own segregated "# wall-time:"
+				// line; a free-floating timing line would break the report's
+				// strip-and-compare contract.
+				return
+			}
 			fmt.Printf("  [%s completed in %.1fs wall time]\n\n", name, time.Since(start).Seconds())
 		}()
 		switch name {
@@ -240,6 +259,35 @@ func main() {
 				telemetry.Summarize(r.Records).WriteTable(os.Stdout)
 			}
 			fmt.Printf("  elapsed %.3fs virtual, %d redistributions\n", r.Res.Elapsed, r.Res.Redists)
+		case "sweep":
+			o := exp.DefaultSweepOptions()
+			o.Jobs = *jobs
+			if !*smoke && *gridSpec == "" {
+				return fmt.Errorf("sweep needs -smoke and/or -grid")
+			}
+			if *gridSpec != "" {
+				if err := o.Grid.ParseSpec(*gridSpec); err != nil {
+					return err
+				}
+			}
+			r, err := exp.RunSweep(o)
+			if err != nil {
+				return err
+			}
+			r.WriteText(os.Stdout)
+			if *outFile != "" {
+				f, err := os.Create(*outFile)
+				if err != nil {
+					return err
+				}
+				if err := r.WriteJSONL(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+			}
 		case "scale":
 			o := exp.DefaultScaleOptions()
 			if *scaleN > 0 {

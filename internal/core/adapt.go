@@ -17,6 +17,12 @@ import (
 // redistribution, and the drop decision. It reports whether this rank
 // participates in the cycle.
 func (rt *Runtime) BeginCycle() bool {
+	if rt.cfg.Pacer != nil {
+		// Park before anything of the cycle happens — scenario events,
+		// fault injection, adaptation — so a stepping controller observes
+		// the world exactly at cycle boundaries.
+		rt.cfg.Pacer.Checkpoint(rt.comm.Rank(), rt.cycle, rt.node.Now())
+	}
 	rt.ensureCommitted()
 	rt.node.OnCycle(rt.cycle)
 	rt.comm.InjectCycleFaults(rt.cycle)

@@ -126,6 +126,12 @@ type Config struct {
 	// membership changes. The sink is shared by all ranks and must be safe
 	// for concurrent use. Nil (the default) skips all emission.
 	Telemetry telemetry.Sink
+	// Pacer, when non-nil, gates every rank at the top of each BeginCycle
+	// (see Pacer and WorldGate in step.go). It is shared by all ranks and
+	// must be safe for concurrent use. Pacing affects wall-clock scheduling
+	// only — virtual time, telemetry and results are byte-identical to an
+	// unpaced run. Nil (the default) runs the world freely.
+	Pacer Pacer
 }
 
 // DefaultConfig returns the paper's default configuration.

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// Pacer is the runtime's cycle-boundary pacing hook. When Config.Pacer is
+// set, every rank calls Checkpoint at the top of each BeginCycle — before
+// scenario events materialise and before any adaptation work — and blocks
+// there until the pacer releases it. Pacing is pure wall-clock control:
+// the virtual clocks, message order, PRNG streams and telemetry of a paced
+// run are byte-identical to an unpaced one.
+type Pacer interface {
+	Checkpoint(rank, cycle int, now vclock.Time)
+}
+
+// gateState is one rank's position relative to its world's gate.
+type gateState int8
+
+const (
+	gateRunning gateState = iota // executing a released cycle (or the pre-cycle prologue)
+	gateParked                   // blocked in Checkpoint, waiting for release
+	gateExited                   // rank goroutine finished (normal return, failure unwind or crash)
+)
+
+// WorldGate turns one goroutine-per-rank world into a vclock.Stepper: it
+// implements Pacer on the rank side and the step primitives
+// (HasPendingEvents / PeekNextEventTime / ProcessNextEvent) on the
+// controller side, which is how a sweep scheduler advances many worlds in
+// global virtual-time order from outside.
+//
+// One "event" is one phase-cycle wave: ranks park at every BeginCycle, and
+// ProcessNextEvent releases all parked ranks for exactly one cycle, then
+// waits for the world to go quiescent again (every rank re-parked or
+// exited). Whole-wave release is what keeps stepping deadlock-free — all
+// intra-cycle communication partners are running whenever any of them is —
+// while still exposing the world's progress one cycle at a time.
+//
+// Wiring: set Config.Pacer to the gate, and register RankExit as the
+// cluster's rank-exit hook (cluster.SetRankExitHook) so ranks that stop
+// checkpointing — normal completion, world failure, injected crashes —
+// never wedge the controller.
+type WorldGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	n        int
+	state    []gateState
+	released []bool
+	times    []vclock.Time // park time per rank, valid while parked
+	parked   int
+	exited   int
+}
+
+// NewWorldGate creates a gate for a world of n ranks, all initially
+// running (the pre-first-cycle prologue: registration, array fill,
+// initial replica exchange).
+func NewWorldGate(n int) *WorldGate {
+	g := &WorldGate{
+		n:        n,
+		state:    make([]gateState, n),
+		released: make([]bool, n),
+		times:    make([]vclock.Time, n),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Checkpoint implements Pacer: the calling rank parks until the controller
+// releases its next cycle.
+func (g *WorldGate) Checkpoint(rank, cycle int, now vclock.Time) {
+	g.mu.Lock()
+	g.state[rank] = gateParked
+	g.times[rank] = now
+	g.parked++
+	g.cond.Broadcast()
+	for !g.released[rank] {
+		g.cond.Wait()
+	}
+	g.released[rank] = false
+	g.mu.Unlock()
+}
+
+// RankExit records that a rank's goroutine has finished and will never
+// checkpoint again. It is called from the mpi run harness via the
+// cluster's rank-exit hook, on every exit path.
+func (g *WorldGate) RankExit(rank int) {
+	g.mu.Lock()
+	if g.state[rank] != gateExited {
+		g.state[rank] = gateExited
+		g.exited++
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// waitQuiescent blocks until every rank is parked or exited. Callers hold
+// g.mu.
+func (g *WorldGate) waitQuiescent() {
+	for g.parked+g.exited < g.n {
+		g.cond.Wait()
+	}
+}
+
+// HasPendingEvents reports whether any rank will run another cycle. It
+// waits for the world to go quiescent first, so a false answer means the
+// run has fully completed and its result is available.
+func (g *WorldGate) HasPendingEvents() bool {
+	g.mu.Lock()
+	g.waitQuiescent()
+	pending := g.parked > 0
+	g.mu.Unlock()
+	return pending
+}
+
+// PeekNextEventTime reports the virtual time of the world's next event:
+// the earliest parked rank's clock. Only valid while HasPendingEvents.
+func (g *WorldGate) PeekNextEventTime() vclock.Time {
+	g.mu.Lock()
+	g.waitQuiescent()
+	var min vclock.Time
+	first := true
+	for r, st := range g.state {
+		if st != gateParked {
+			continue
+		}
+		if first || g.times[r] < min {
+			min, first = g.times[r], false
+		}
+	}
+	g.mu.Unlock()
+	return min
+}
+
+// ProcessNextEvent releases every parked rank for one phase cycle and
+// returns once the world is quiescent again. With no parked ranks it is a
+// no-op.
+func (g *WorldGate) ProcessNextEvent() {
+	g.mu.Lock()
+	g.waitQuiescent()
+	if g.parked == 0 {
+		g.mu.Unlock()
+		return
+	}
+	for r, st := range g.state {
+		if st == gateParked {
+			g.state[r] = gateRunning
+			g.released[r] = true
+			g.parked--
+		}
+	}
+	g.cond.Broadcast()
+	g.waitQuiescent()
+	g.mu.Unlock()
+}

@@ -1,0 +1,17 @@
+package exp
+
+import "repro/internal/sweep"
+
+// DefaultSweepOptions returns the CI smoke sweep: the 64-cell
+// sweep.Smoke() grid advanced by a 4-wide worker pool. The pool width
+// affects only wall-clock time — the report is byte-identical for any
+// Jobs value.
+func DefaultSweepOptions() sweep.Options {
+	return sweep.Options{Grid: sweep.Smoke(), Jobs: 4}
+}
+
+// RunSweep executes a multi-world parameter sweep under the shared
+// virtual-time scheduler (see internal/sweep).
+func RunSweep(o sweep.Options) (*sweep.Result, error) {
+	return sweep.Run(o)
+}

@@ -175,6 +175,7 @@ type opState struct {
 	ready atomic.Int64
 
 	times       []vclock.Time // per-slot deposit time (owner-written)
+	bytes       []int         // per-slot offered payload bytes (owner-written)
 	contribs    []any         // per-slot boxed contribution (owner-written)
 	contribsF64 [][]float64   // per-slot vector contribution (owner-written)
 
@@ -359,6 +360,7 @@ func (w *World) NewGroup(members []int) *Group {
 	for i := range g.ring {
 		op := &opState{
 			times:       make([]vclock.Time, n),
+			bytes:       make([]int, n),
 			contribs:    make([]any, n),
 			contribsF64: make([][]float64, n),
 			depSeq:      make([]atomic.Int64, n),
@@ -428,6 +430,25 @@ func maxTime(ts []vclock.Time) vclock.Time {
 	return m
 }
 
+// opBytes returns the payload size the op is priced at: the largest
+// contribution any member deposited. Collectives with asymmetric
+// per-member payloads (an allgather of uneven chunks after a skewed
+// redistribution) would otherwise be priced by whichever member happened
+// to publish — the last *physical* arriver — making virtual time depend on
+// goroutine scheduling. Every member has deposited by publication time
+// (serial publish requires all arrivals; the combiner tree's root completes
+// only after every leaf), so the maximum is well-defined and deterministic.
+// For the symmetric collectives it equals every member's own desc.bytes.
+func opBytes(op *opState) int {
+	m := op.bytes[0]
+	for _, b := range op.bytes[1:] {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
 // groupSlot resolves this rank's slot in g, caching the last group so the
 // steady state (one group used every cycle) skips the map lookup.
 func (c *Comm) groupSlot(g *Group) int {
@@ -480,6 +501,7 @@ func (c *Comm) rendezvousErr(g *Group, contrib any, vec []float64, desc *collDes
 	}
 
 	op.times[slot] = c.node.Now()
+	op.bytes[slot] = desc.bytes
 	if vec != nil {
 		op.contribsF64[slot] = vec
 	} else if contrib != nil {
@@ -642,7 +664,7 @@ func (c *Comm) publishSerial(g *Group, op *opState, desc *collDesc) {
 func (g *Group) publishResult(op *opState, desc *collDesc, cost collCost) {
 	op.finish = maxTime(op.times).Add(cost.wire)
 	op.cpuEach = cost.cpuEach
-	g.noteOp(desc.kind, desc.bytes)
+	g.noteOp(desc.kind, opBytes(op))
 	op.pub.Store(true)
 	if op.parked.Load() > 0 {
 		signalAll(op)
@@ -660,11 +682,12 @@ func buildResult(g *Group, op *opState, desc *collDesc) (cost collCost, err erro
 	}()
 	n := len(g.members)
 	net := g.w.cl.Net()
+	bytes := opBytes(op) // deterministic pricing: see opBytes
 	switch desc.kind {
 	case opBarrier:
 		cost = barrierCost(net, n)
 	case opBcast:
-		cost = bcastCost(net, n, desc.bytes)
+		cost = bcastCost(net, n, bytes)
 		if desc.pooled {
 			// Copy into a pooled vector: the root's own buffer is only
 			// stable until the root leaves the collective, but members may
@@ -700,10 +723,10 @@ func buildResult(g *Group, op *opState, desc *collDesc) (cost collCost, err erro
 		} else {
 			op.value = out
 		}
-		cost = allreduceCost(net, n, desc.bytes)
+		cost = allreduceCost(net, n, bytes)
 	case opAllgather:
 		op.value = append([]any(nil), op.contribs...)
-		cost = allgatherCost(net, n, desc.bytes)
+		cost = allgatherCost(net, n, bytes)
 	case opAllgatherF64:
 		vp := g.getF64(n)
 		out := *vp
@@ -711,10 +734,10 @@ func buildResult(g *Group, op *opState, desc *collDesc) (cost collCost, err erro
 			out[i] = op.contribsF64[i][0]
 		}
 		op.valPtr, op.valueF64 = vp, out
-		cost = allgatherCost(net, n, desc.bytes)
+		cost = allgatherCost(net, n, bytes)
 	case opGather:
 		op.value = append([]any(nil), op.contribs...)
-		cost = gatherCost(net, n, desc.bytes)
+		cost = gatherCost(net, n, bytes)
 	}
 	return cost, nil
 }
@@ -738,7 +761,7 @@ func (c *Comm) combineUp(g *Group, op *opState, slot int, vec []float64, desc *c
 	} else {
 		op.value = append([]float64(nil), root...)
 	}
-	g.publishResult(op, desc, allreduceCost(c.w.cl.Net(), len(g.members), desc.bytes))
+	g.publishResult(op, desc, allreduceCost(c.w.cl.Net(), len(g.members), opBytes(op)))
 }
 
 // safeTreeWalk is treeWalk with panics (ragged vectors) turned into errors.

@@ -501,6 +501,7 @@ func Run(cl *cluster.Cluster, fn func(*Comm) error) error {
 
 // Run executes fn on every rank of an existing world.
 func (w *World) Run(fn func(*Comm) error) error {
+	exitHook := w.cl.RankExitHook()
 	var wg sync.WaitGroup
 	for r := 0; r < w.n; r++ {
 		wg.Add(1)
@@ -509,15 +510,18 @@ func (w *World) Run(fn func(*Comm) error) error {
 			comm := w.NewComm(rank)
 			defer func() {
 				if p := recover(); p != nil {
+					unwound := false
 					if err, ok := p.(error); ok {
-						if errors.Is(err, errFailed) {
-							return // unwound by another rank's failure
-						}
-						if errors.Is(err, errCrashed) {
-							return // injected crash: this rank simply stops
-						}
+						// errFailed: unwound by another rank's failure.
+						// errCrashed: injected crash, this rank simply stops.
+						unwound = errors.Is(err, errFailed) || errors.Is(err, errCrashed)
 					}
-					w.fail(fmt.Errorf("rank %d panicked: %v", rank, p))
+					if !unwound {
+						w.fail(fmt.Errorf("rank %d panicked: %v", rank, p))
+					}
+				}
+				if exitHook != nil {
+					exitHook(rank)
 				}
 			}()
 			if err := fn(comm); err != nil {

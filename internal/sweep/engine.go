@@ -1,0 +1,165 @@
+package sweep
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Options configures a sweep run.
+type Options struct {
+	Grid Grid
+	// Jobs is the worker-pool width: how many worlds step concurrently in
+	// one scheduler round. <= 0 means 1. Jobs affects only wall-clock
+	// time; the report is byte-identical for any value.
+	Jobs int
+}
+
+// CellResult is one cell's outcome.
+type CellResult struct {
+	Cell  Cell      `json:"-"`
+	Key   string    `json:"cell"`
+	Err   string    `json:"error,omitempty"`
+	Stats CellStats `json:"stats"`
+}
+
+// Result is a completed sweep: per-cell results in enumeration (Index)
+// order plus wall-clock facts that the report writers keep segregated
+// from the deterministic lines.
+type Result struct {
+	Cells []CellResult
+
+	// Wall-clock facts; never mixed into cmp-able report lines.
+	WallSeconds float64
+	Jobs        int
+	GoMaxProcs  int
+	Steps       int // scheduler rounds executed
+}
+
+// entry is one active world in the scheduler's priority queue, ordered by
+// (next event's virtual time, cell index) — the cell index tiebreak makes
+// the pop order fully deterministic even between worlds whose clocks
+// coincide.
+type entry struct {
+	t vclock.Time
+	w *worldRun
+}
+
+type worldHeap []entry
+
+func (h worldHeap) Len() int { return len(h) }
+func (h worldHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].w.cell.Index < h[j].w.cell.Index
+}
+func (h worldHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *worldHeap) Push(x any)   { *h = append(*h, x.(entry)) }
+func (h *worldHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes the sweep: it admits worlds from the grid's cell list into
+// a bounded active set, keeps the active worlds in a priority queue by the
+// virtual time of their next event, and each round pops the globally
+// earliest (up to Jobs) worlds and steps them one phase-cycle wave each,
+// concurrently. Worlds whose gates report no pending events are finalized:
+// their telemetry ring is folded into per-cell statistics and the slot is
+// handed to the next queued cell.
+//
+// The report is deterministic: each world is deterministic in virtual time
+// on its own and the gate's pacing is pure wall-clock control, so neither
+// Jobs, nor GOMAXPROCS, nor admission interleaving can change any cell's
+// records — only the wall-clock lines differ between runs.
+func Run(o Options) (*Result, error) {
+	if err := o.Grid.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := o.Jobs
+	if jobs <= 0 {
+		jobs = 1
+	}
+	// Bounded admission: enough live worlds to keep the pool busy without
+	// paying goroutine residency for the whole grid at once.
+	maxActive := 2 * jobs
+	if maxActive < 8 {
+		maxActive = 8
+	}
+
+	start := time.Now()
+	cells := o.Grid.Cells()
+	res := &Result{
+		Cells:      make([]CellResult, len(cells)),
+		Jobs:       jobs,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	var h worldHeap
+	active := 0
+	next := 0 // next cell to admit
+
+	finalize := func(w *worldRun) {
+		out := <-w.done
+		cr := CellResult{Cell: w.cell, Key: w.cell.Key()}
+		if out.err != nil {
+			cr.Err = out.err.Error()
+		} else {
+			cr.Stats = buildStats(w.ring.Records(), out.res)
+		}
+		res.Cells[w.cell.Index] = cr
+		active--
+	}
+	// classify routes a quiescent world: back into the queue if it will run
+	// another cycle, into finalize if it has completed.
+	classify := func(w *worldRun) {
+		if w.gate.HasPendingEvents() {
+			heap.Push(&h, entry{t: w.gate.PeekNextEventTime(), w: w})
+		} else {
+			finalize(w)
+		}
+	}
+
+	for next < len(cells) || h.Len() > 0 {
+		for next < len(cells) && active < maxActive {
+			w := startWorld(&o.Grid, cells[next])
+			next++
+			active++
+			classify(w)
+		}
+		if h.Len() == 0 {
+			continue
+		}
+		round := jobs
+		if round > h.Len() {
+			round = h.Len()
+		}
+		batch := make([]*worldRun, 0, round)
+		for i := 0; i < round; i++ {
+			batch = append(batch, heap.Pop(&h).(entry).w)
+		}
+		var wg sync.WaitGroup
+		for _, w := range batch {
+			wg.Add(1)
+			go func(w *worldRun) {
+				defer wg.Done()
+				w.gate.ProcessNextEvent()
+			}(w)
+		}
+		wg.Wait()
+		res.Steps++
+		for _, w := range batch {
+			classify(w)
+		}
+	}
+
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}

@@ -1,0 +1,134 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/telemetry"
+)
+
+// CellStats aggregates one world's telemetry into the sweep report row:
+// iteration-time percentiles across every (node, cycle) sample, the
+// overlap and failure-loss totals, and the application-level outcome.
+type CellStats struct {
+	Cycles  int `json:"cycles"`  // iteration records aggregated
+	Crashed int `json:"crashed"` // ranks that died to an injected fault
+
+	// Per-cycle wall time (compute + comm + wait) percentiles, seconds.
+	IterP50 float64 `json:"iter_p50_s"`
+	IterP90 float64 `json:"iter_p90_s"`
+	IterP99 float64 `json:"iter_p99_s"`
+
+	// HiddenWireS is the total wire time the overlap machinery hid behind
+	// computation, across all nodes, seconds.
+	HiddenWireS float64 `json:"hidden_wire_s"`
+	// LostRows is the total rows declared lost by failure recoveries (zero
+	// when replication or a fault-free run preserved everything).
+	LostRows int `json:"lost_rows"`
+
+	Redists  int     `json:"redists"`
+	Elapsed  float64 `json:"elapsed_s"` // virtual-time makespan
+	Checksum float64 `json:"checksum"`
+	CheckInt int64   `json:"check_int,omitempty"`
+}
+
+// buildStats folds a world's record stream and application result into
+// CellStats. Records are sorted first so the aggregation order never
+// depends on emission interleaving across rank goroutines.
+func buildStats(recs []telemetry.Record, res apps.Result) CellStats {
+	telemetry.Sort(recs)
+	var st CellStats
+	var samples []float64
+	for _, rec := range recs {
+		switch v := rec.(type) {
+		case telemetry.IterationRecord:
+			samples = append(samples, v.ComputeS+v.CommS+v.WaitS)
+			st.HiddenWireS += float64(v.HiddenWireNs) / 1e9
+		case telemetry.RedistRecord:
+			st.LostRows += v.LostRows
+		}
+	}
+	st.Cycles = len(samples)
+	sort.Float64s(samples)
+	st.IterP50 = percentile(samples, 50)
+	st.IterP90 = percentile(samples, 90)
+	st.IterP99 = percentile(samples, 99)
+	st.Redists = res.Redists
+	st.Elapsed = res.Elapsed
+	st.Checksum = res.Checksum
+	st.CheckInt = res.CheckInt
+	for _, rs := range res.Stats {
+		if rs.Crashed {
+			st.Crashed++
+		}
+	}
+	return st
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// WriteText renders the deterministic report: a header, one "cell" line
+// per grid point in enumeration order, and a trailing summary count. All
+// wall-clock facts go on lines prefixed "# wall-time:" so a consumer can
+// strip exactly those (grep -v '^# wall-time:') and byte-compare the rest
+// across runs, pool widths and machines.
+func (r *Result) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "# sweep report: cells=%d\n", len(r.Cells))
+	fmt.Fprintf(w, "# columns: cell | cycles crashed | iter p50/p90/p99 (s) | hidden-wire (s) | lost-rows | redists | elapsed (s) | checksum\n")
+	failed := 0
+	for _, c := range r.Cells {
+		if c.Err != "" {
+			failed++
+			fmt.Fprintf(w, "cell %-28s | error: %s\n", c.Key, c.Err)
+			continue
+		}
+		s := c.Stats
+		check := fmtF(s.Checksum)
+		if s.CheckInt != 0 {
+			check = fmt.Sprintf("int:%d", s.CheckInt)
+		}
+		fmt.Fprintf(w, "cell %-28s | %4d %d | %s %s %s | %s | %4d | %2d | %s | %s\n",
+			c.Key, s.Cycles, s.Crashed,
+			fmtF(s.IterP50), fmtF(s.IterP90), fmtF(s.IterP99),
+			fmtF(s.HiddenWireS), s.LostRows, s.Redists, fmtF(s.Elapsed), check)
+	}
+	fmt.Fprintf(w, "# sweep done: cells=%d failed=%d\n", len(r.Cells), failed)
+	fmt.Fprintf(w, "# wall-time: %.3fs jobs=%d gomaxprocs=%d rounds=%d\n",
+		r.WallSeconds, r.Jobs, r.GoMaxProcs, r.Steps)
+}
+
+// fmtF formats a float deterministically with full round-trip precision:
+// identical bits always render identically.
+func fmtF(v float64) string {
+	return fmt.Sprintf("%.6g", v)
+}
+
+// WriteJSONL writes one JSON object per cell, in enumeration order. The
+// stream carries no wall-clock fields, so it is byte-comparable across
+// runs the same way the text report's non-wall lines are.
+func (r *Result) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range r.Cells {
+		if err := enc.Encode(&r.Cells[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

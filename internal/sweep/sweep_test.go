@@ -1,0 +1,231 @@
+package sweep
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/jacobi"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/telemetry"
+)
+
+// stepScenario is the harness case for the step-primitive equivalence
+// tests: the smoke workload's jacobi cell with a competing-process arrival,
+// a mid-run crash and unconditional drop — every adaptation path a gated
+// run must reproduce exactly.
+func stepScenario() (*Grid, Cell) {
+	g := Smoke()
+	c := Cell{Scenario: "jacobi", Ranks: 8, GP: 3, Overlap: false, Fault: "crash", Replicate: false}
+	return &g, c
+}
+
+// monolithicTrace runs the cell's world without a gate and returns its
+// sorted record stream plus the application result.
+func monolithicTrace(t *testing.T, g *Grid, c Cell) ([]telemetry.Record, apps.Result) {
+	t.Helper()
+	ring := telemetry.NewRing(g.RingCap)
+	base := core.DefaultConfig()
+	base.Drop = core.DropAlways
+	base.GracePeriod = c.GP
+	base.Replicate = c.Replicate
+	base.Telemetry = ring
+	cfg := jacobi.DefaultConfig()
+	cfg.Rows, cfg.Cols, cfg.Iters, cfg.CostPerElem = g.Rows, g.Cols, g.Iters, g.CostPerElem
+	cfg.Overlap = c.Overlap
+	cfg.Core = base
+	spec := cluster.Uniform(c.Ranks).With(cluster.CycleEvent(g.CPNode, g.CPCycle, +1))
+	spec.Faults = append(spec.Faults, fault.CrashAtCycle(g.CrashNode, g.CrashCycle))
+	res, err := jacobi.Run(cluster.New(spec), cfg)
+	if err != nil {
+		t.Fatalf("monolithic run: %v", err)
+	}
+	recs := ring.Records()
+	telemetry.Sort(recs)
+	return recs, res
+}
+
+func jsonl(t *testing.T, recs []telemetry.Record) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, recs); err != nil {
+		t.Fatalf("encode records: %v", err)
+	}
+	return buf.String()
+}
+
+// TestStepwiseMatchesMonolithic drives a world one ProcessNextEvent at a
+// time from outside and asserts its telemetry is byte-identical to the same
+// world run monolithically: the gate is pure wall-clock control and leaves
+// no trace in virtual time.
+func TestStepwiseMatchesMonolithic(t *testing.T) {
+	g, c := stepScenario()
+	wantRecs, wantRes := monolithicTrace(t, g, c)
+	want := jsonl(t, wantRecs)
+
+	w := startWorld(g, c)
+	steps := 0
+	for w.gate.HasPendingEvents() {
+		last := w.gate.PeekNextEventTime()
+		w.gate.ProcessNextEvent()
+		steps++
+		if w.gate.HasPendingEvents() {
+			if next := w.gate.PeekNextEventTime(); next < last {
+				t.Fatalf("step %d: next event time %v went backwards from %v", steps, next, last)
+			}
+		}
+	}
+	out := <-w.done
+	if out.err != nil {
+		t.Fatalf("gated run: %v", out.err)
+	}
+	if steps != g.Iters {
+		t.Errorf("gated run took %d steps, want %d (one per phase cycle)", steps, g.Iters)
+	}
+	recs := w.ring.Records()
+	telemetry.Sort(recs)
+	if got := jsonl(t, recs); got != want {
+		t.Errorf("stepwise trace differs from monolithic run (%d vs %d bytes)", len(got), len(want))
+	}
+	if out.res.Checksum != wantRes.Checksum || out.res.Elapsed != wantRes.Elapsed || out.res.Redists != wantRes.Redists {
+		t.Errorf("stepwise result %+v != monolithic %+v", out.res, wantRes)
+	}
+}
+
+// TestWorldGateCrashDoesNotWedge pins the rank-exit wiring: a world whose
+// ranks die or finish must report no pending events instead of blocking
+// the controller forever.
+func TestWorldGateCrashDoesNotWedge(t *testing.T) {
+	g, c := stepScenario()
+	w := startWorld(g, c)
+	for w.gate.HasPendingEvents() {
+		w.gate.ProcessNextEvent()
+	}
+	out := <-w.done
+	if out.err != nil {
+		t.Fatalf("run: %v", out.err)
+	}
+	crashed := 0
+	for _, rs := range out.res.Stats {
+		if rs.Crashed {
+			crashed++
+		}
+	}
+	if crashed != 1 {
+		t.Fatalf("want exactly 1 crashed rank, got %d", crashed)
+	}
+	// Quiescent and complete: further step calls are harmless no-ops.
+	w.gate.ProcessNextEvent()
+	if w.gate.HasPendingEvents() {
+		t.Error("completed world still reports pending events")
+	}
+}
+
+// smokeReport runs the smoke grid at the given pool width and returns the
+// deterministic report (wall-time lines stripped).
+func smokeReport(t *testing.T, jobs int) string {
+	t.Helper()
+	r, err := Run(Options{Grid: Smoke(), Jobs: jobs})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	var kept []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# wall-time:") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestSweepDeterministicAcrossJobs is the engine's determinism contract:
+// the smoke report is byte-identical between a serial pool and a wide pool
+// under a different GOMAXPROCS. Run with -race in CI.
+func TestSweepDeterministicAcrossJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full smoke grid; skipped in -short")
+	}
+	serial := smokeReport(t, 1)
+
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	wide := smokeReport(t, 8)
+
+	if serial != wide {
+		t.Errorf("report differs between -jobs 1 and -jobs 8/GOMAXPROCS=4")
+	}
+	cells := strings.Count(serial, "\ncell ")
+	if cells < 48 {
+		t.Errorf("smoke grid has %d cells, want >= 48", cells)
+	}
+	if !strings.Contains(serial, "failed=0") {
+		t.Errorf("smoke sweep reported failures:\n%s", serial)
+	}
+}
+
+// TestSmokeGridCoversAxes pins the smoke grid shape: every axis value
+// appears, and the enumeration covers the full cross product.
+func TestSmokeGridCoversAxes(t *testing.T) {
+	g := Smoke()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("smoke grid invalid: %v", err)
+	}
+	cells := g.Cells()
+	want := len(g.Scenarios) * len(g.Ranks) * len(g.GPs) * len(g.Overlaps) * len(g.Faults) * len(g.Reps)
+	if len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	if len(cells) < 48 {
+		t.Fatalf("smoke grid has %d cells, want >= 48", len(cells))
+	}
+	keys := map[string]bool{}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d carries Index %d", i, c.Index)
+		}
+		if keys[c.Key()] {
+			t.Fatalf("duplicate cell key %s", c.Key())
+		}
+		keys[c.Key()] = true
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	g := Smoke()
+	err := g.ParseSpec("scen=jacobi;ranks=4;gp=7;overlap=1;fault=none;rep=0;rows=64;cols=48;iters=20;cost=500")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(g.Cells()) != 1 {
+		t.Fatalf("want 1 cell, got %d", len(g.Cells()))
+	}
+	c := g.Cells()[0]
+	if c.Scenario != "jacobi" || c.Ranks != 4 || c.GP != 7 || !c.Overlap || c.Fault != "none" || c.Replicate {
+		t.Errorf("unexpected cell %+v", c)
+	}
+	if g.Rows != 64 || g.Cols != 48 || g.Iters != 20 || g.CostPerElem != 500 {
+		t.Errorf("workload knobs not applied: %+v", g)
+	}
+	for _, bad := range []string{"bogus=1", "ranks=x", "overlap=maybe", "scen"} {
+		g := Smoke()
+		if err := g.ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	for _, invalid := range []string{"scen=quux", "ranks=1", "fault=flood", "iters=0"} {
+		g := Smoke()
+		if err := g.ParseSpec(invalid); err != nil {
+			t.Fatalf("parse %q: %v", invalid, err)
+		}
+		if err := g.Validate(); err == nil {
+			t.Errorf("Validate accepted %q", invalid)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package vclock
+
+// Stepper is the external single-step control surface of a virtual-time
+// world: the decomposition of a monolithic run loop into the three
+// primitives a shared-clock multi-world scheduler needs. A scheduler
+// holding many Steppers repeatedly picks the one whose PeekNextEventTime
+// is globally earliest, calls ProcessNextEvent on it, and re-inserts it —
+// advancing every world in global virtual-time order without any world
+// observing the others.
+//
+// The determinism contract: stepping only controls *which world's
+// goroutines make wall-clock progress next*. It never advances a virtual
+// clock, never reorders messages within a world, and never perturbs a
+// PRNG stream, so a world advanced one event at a time produces a
+// byte-identical telemetry trace, checksum and finish time to the same
+// world run monolithically — and the schedule (how many worlds, how many
+// scheduler threads, GOMAXPROCS) is invisible in every result.
+type Stepper interface {
+	// HasPendingEvents reports whether the world still has events to
+	// process. Once it returns false the world has run to completion and
+	// its result is available.
+	HasPendingEvents() bool
+	// PeekNextEventTime reports the virtual time of the world's next
+	// event without processing it. Only valid while HasPendingEvents.
+	PeekNextEventTime() Time
+	// ProcessNextEvent advances the world by exactly one event and
+	// returns once the world is quiescent again (every participant has
+	// either reached its next event boundary or finished).
+	ProcessNextEvent()
+}
