@@ -471,6 +471,51 @@ func BenchmarkCollectiveN64(b *testing.B)   { benchCollectives(b, 64) }
 func BenchmarkCollectiveN256(b *testing.B)  { benchCollectives(b, 256) }
 func BenchmarkCollectiveN1024(b *testing.B) { benchCollectives(b, 1024) }
 
+// BenchmarkPutFence measures the one-sided hot loop: rank 0 Puts a 1024-
+// element slab into rank 1's window and closes the epoch with a fence, once
+// per iteration. Put itself must stay 0 allocs/op in steady state (the
+// deposit pool recycles); the fence settles the epoch's accounting. Gated
+// by benchgate like the send/recv pair it replaces on the refresh path.
+func BenchmarkPutFence(b *testing.B) {
+	b.ReportAllocs()
+	payload := make([]float64, 1024)
+	err := mpi.Run(cluster.New(cluster.Uniform(2)), func(c *mpi.Comm) error {
+		g := c.World().NewGroup([]int{0, 1})
+		win := c.WinCreate(g, make(mpi.FlatMem, len(payload)))
+		c.Fence(win) // open the access epoch
+		peer := 1 - c.Rank()
+		for i := 0; i < b.N; i++ {
+			if c.Rank() == 0 {
+				c.Put(win, peer, 0, payload)
+			}
+			c.Fence(win)
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReplicaRefreshRMA runs the one-sided refresh study at the 64-rank
+// acceptance size once per iteration and fails unless the deferred-epoch
+// refresh cuts the holder-side replica stall by at least 30% versus the
+// paired send/recv refresh — the PR's headline claim, enforced in the bench
+// gate as well as the test suite. The reduction is reported as a metric.
+func BenchmarkReplicaRefreshRMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.RunRMA(exp.RMAOptions{Nodes: []int{64}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		red := res.MinReduction()
+		if red < 0.30 {
+			b.Fatalf("stall reduction %.1f%% below the 30%% acceptance bar", red*100)
+		}
+		b.ReportMetric(red*100, "stall-reduction-%")
+	}
+}
+
 // BenchmarkSweepSmoke runs the full CI smoke sweep — 64 deterministic worlds
 // multiplexed under one shared virtual-time scheduler — once per iteration.
 // It is the end-to-end guardrail for the sweep engine: scheduling overhead,

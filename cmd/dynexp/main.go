@@ -13,6 +13,7 @@
 //	dynexp trace       — canonical loaded-4-node run with structured telemetry
 //	dynexp scale       — large-world collective soak (64/256/1024 ranks)
 //	dynexp overlap     — nonblocking halo overlap and redistribution stall study
+//	dynexp rma         — one-sided (RMA) replica refresh vs paired send/recv
 //	dynexp sweep       — multi-world parameter sweep under one shared scheduler
 //	dynexp all         — everything above (except trace, scale and sweep)
 //
@@ -45,9 +46,14 @@
 // width, and -out writes the per-cell results as JSONL. The text report on
 // stdout is deterministic apart from lines prefixed "# wall-time:"; strip
 // those and two runs byte-compare equal regardless of -jobs or GOMAXPROCS.
+// -stream (with -out) appends each cell's JSONL row the moment it
+// finalizes — completion order, for consumers tailing the file — and
+// rewrites the file in enumeration order at the end, so the final file is
+// byte-identical to a non-streamed -out.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -58,11 +64,12 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/fault"
+	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] [-fault specs] [-replicate] [-replica-every n] [-scale-n n] [-smoke] [-grid spec] [-jobs n] [-out f.jsonl] [-cpuprofile f] [-memprofile f] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|scale|overlap|sweep|all}\n")
+	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] [-fault specs] [-replicate] [-replica-every n] [-scale-n n] [-smoke] [-grid spec] [-jobs n] [-out f.jsonl] [-stream] [-cpuprofile f] [-memprofile f] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|scale|overlap|rma|sweep|all}\n")
 	os.Exit(2)
 }
 
@@ -79,6 +86,7 @@ func main() {
 	gridSpec := flag.String("grid", "", "overlay a grid spec, e.g. 'scen=jacobi;ranks=4,8;gp=3' (sweep subcommand)")
 	jobs := flag.Int("jobs", 4, "worker-pool width: worlds stepped concurrently per scheduler round (sweep subcommand)")
 	outFile := flag.String("out", "", "write per-cell sweep results as JSONL to this file (sweep subcommand)")
+	stream := flag.Bool("stream", false, "with -out: append each cell's JSONL row as it finalizes, then rewrite the file in enumeration order at the end (sweep subcommand)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiment(s) to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	flag.Usage = usage
@@ -226,6 +234,18 @@ func main() {
 			r.Table().Render(os.Stdout)
 			fmt.Printf("  arrival-order commits cut redistribution stall by %.0f%% on the skewed-load scenario\n",
 				r.StallReduction()*100)
+		case "rma":
+			o := exp.DefaultRMAOptions()
+			if nodes != nil {
+				o.Nodes = nodes
+			}
+			r, err := exp.RunRMA(o)
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			fmt.Printf("  one-sided refresh cuts holder-side replica stall by ≥%.0f%% across world sizes\n",
+				r.MinReduction()*100)
 		case "trace":
 			o := exp.DefaultTraceOptions()
 			if *faultSpecs != "" {
@@ -270,9 +290,33 @@ func main() {
 					return err
 				}
 			}
+			// -stream emits rows live, in completion order, so a consumer
+			// tailing the file sees progress; the rewrite below restores
+			// enumeration order, making the final file byte-identical to a
+			// non-streamed -out.
+			var streamErr error
+			if *stream {
+				if *outFile == "" {
+					return fmt.Errorf("sweep -stream needs -out")
+				}
+				f, err := os.Create(*outFile)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				enc := json.NewEncoder(f)
+				o.OnCell = func(cr sweep.CellResult) {
+					if streamErr == nil {
+						streamErr = enc.Encode(&cr)
+					}
+				}
+			}
 			r, err := exp.RunSweep(o)
 			if err != nil {
 				return err
+			}
+			if streamErr != nil {
+				return fmt.Errorf("streaming to %s: %w", *outFile, streamErr)
 			}
 			r.WriteText(os.Stdout)
 			if *outFile != "" {
@@ -321,7 +365,7 @@ func main() {
 	target := flag.Arg(0)
 	var names []string
 	if target == "all" {
-		names = []string{"fig4", "cg-table", "fig5", "fig6", "fig7", "alloc", "microbench", "virt", "overlap"}
+		names = []string{"fig4", "cg-table", "fig5", "fig6", "fig7", "alloc", "microbench", "virt", "overlap", "rma"}
 	} else {
 		names = []string{target}
 	}

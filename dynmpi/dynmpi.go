@@ -78,6 +78,17 @@ const (
 	DropLogical = core.DropLogical
 )
 
+// Redistribution commit modes for Config.RedistMode (the zero value
+// RedistPipelined keeps virtual timelines byte-identical to the blocking
+// engine; RedistOverlap commits in arrival order; RedistRMA lands dense
+// slabs through one-sided windows).
+const (
+	RedistPipelined = core.RedistPipelined
+	RedistBlocking  = core.RedistBlocking
+	RedistOverlap   = core.RedistOverlap
+	RedistRMA       = core.RedistRMA
+)
+
 // Access modes for AddAccess.
 const (
 	Read      = drsd.Read

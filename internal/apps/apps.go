@@ -28,6 +28,10 @@ type RankStats struct {
 	Events    []core.Event
 	SentBytes int64
 	SentMsgs  int64
+	// RefreshStall is the cumulative virtual stall this rank's replica
+	// refreshes cost it (paired receives, or fence settlements under
+	// one-sided refresh); the RMA study compares it across modes.
+	RefreshStall vclock.Duration
 }
 
 // Result is the outcome of one application run.
@@ -61,17 +65,22 @@ func NewCollector() *Collector {
 	return &Collector{stats: map[int]RankStats{}, sums: map[int]float64{}, ints: map[int]int64{}}
 }
 
-// Report records one rank's final state (call once per rank).
+// Report records one rank's final state (call once per rank). It also
+// finishes the runtime, settling any replica epoch the one-sided refresh
+// left open — without that, the final epoch's deposits would linger on
+// world teardown.
 func (c *Collector) Report(rt *core.Runtime, checksum float64, checkInt int64) {
+	rt.Finish()
 	comm := rt.Comm()
 	st := RankStats{
-		Rank:      comm.Rank(),
-		Removed:   !rt.Participating(),
-		Redists:   rt.Redistributions(),
-		Finish:    comm.Now(),
-		Events:    rt.Events(),
-		SentBytes: comm.SentBytes,
-		SentMsgs:  comm.SentMsgs,
+		Rank:         comm.Rank(),
+		Removed:      !rt.Participating(),
+		Redists:      rt.Redistributions(),
+		Finish:       comm.Now(),
+		Events:       rt.Events(),
+		SentBytes:    comm.SentBytes,
+		SentMsgs:     comm.SentMsgs,
+		RefreshStall: rt.ReplicaStall(),
 	}
 	c.mu.Lock()
 	c.stats[st.Rank] = st

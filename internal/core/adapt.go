@@ -126,7 +126,7 @@ func (rt *Runtime) EndCycle() {
 	}
 	rt.endCycleTelemetry()
 	if rt.cfg.Replicate && rt.cfg.ReplicaEvery > 0 && rt.cycle%rt.cfg.ReplicaEvery == 0 {
-		rt.refreshReplicas()
+		rt.refreshReplicasNow()
 	}
 	rt.cycle++
 }

@@ -63,15 +63,16 @@ const (
 
 // Reserved tag space: user tags must stay below tagBase.
 const (
-	tagBase      = 1 << 20
-	tagRedist    = tagBase // + array registration index
-	tagGlobal    = tagBase + 512
-	tagDone      = tagBase + 513
-	tagPing      = tagBase + 514
-	tagLoadReply = tagBase + 515
-	tagRejoin    = tagBase + 516
-	tagReplica   = tagBase + 1024 // + array registration index (buddy-replica refresh)
-	tagRecover   = tagBase + 1536 // + array registration index (failure recovery)
+	tagBase       = 1 << 20
+	tagRedist     = tagBase // + array registration index
+	tagGlobal     = tagBase + 512
+	tagDone       = tagBase + 513
+	tagPing       = tagBase + 514
+	tagLoadReply  = tagBase + 515
+	tagRejoin     = tagBase + 516
+	tagReplica    = tagBase + 1024 // + array registration index (buddy-replica refresh)
+	tagRecover    = tagBase + 1536 // + array registration index (failure recovery)
+	tagRedistSync = tagBase + 2048 // + array registration index (RMA commit marker sync)
 )
 
 // Config parameterises the runtime (the DMPI_init arguments plus the
@@ -116,6 +117,14 @@ type Config struct {
 	// (0 = only at distribution points). A replica restores the state it
 	// captured, so a smaller interval means fresher recovered data.
 	ReplicaEvery int
+	// ReplicaRMA switches the replica refresh from paired send/recv to
+	// one-sided Puts into the buddy's replica window with a deferred
+	// epoch-closing fence (rma.go): the holder no longer stalls in a
+	// paired receive during the refresh cycle, because the epoch opened at
+	// one refresh point is not settled until the next one — a full cycle of
+	// computation hides the wire. Recovery content is identical to the
+	// paired path at the same ReplicaEvery staleness.
+	ReplicaRMA bool
 	// RedistMode selects how redistribution Phase 3 drains incoming slabs
 	// (see the constants; the zero value RedistPipelined keeps virtual
 	// timing byte-identical to the legacy blocking drain).
@@ -169,6 +178,14 @@ const (
 	// stall drops (Event.Stall records it); the virtual timeline
 	// legitimately differs from the blocking one, so this mode is opt-in.
 	RedistOverlap
+	// RedistRMA commits dense transfers through one-sided windows
+	// (rma.go): after the resident windows resize, each receiver exposes
+	// its new window and senders Put packed row slabs directly at
+	// destination offsets computed from the schedule, collapsing the
+	// Phase-3 harvest/commit into a fence. The receiver pays no per-message
+	// CPU and no commit touches (the deposit is a modelled DMA); sparse
+	// arrays fall back to the blocking drain. Opt-in, like RedistOverlap.
+	RedistRMA
 )
 
 type adaptState int
@@ -287,6 +304,17 @@ type Runtime struct {
 	lostRows      int                 // total rows lost
 	recoveredRows int                 // total rows reconstructed from replicas
 	replicas      map[string]*replica // predecessor's rows, per dense array
+	replicaStall  vclock.Duration     // receive-side stall accumulated by refreshes
+
+	// One-sided replica/redistribution state (rma.go).
+	repWins     map[string]*mpi.Win // replica window per dense array
+	repRanks    []int               // replica-group member list at the last open
+	repPrev     int                 // ring predecessor at the last open (world rank)
+	repNext     int                 // ring successor at the last open (world rank)
+	repOpen     bool                // a replica epoch is open (Puts posted, fence pending)
+	repPend     map[string]repRange // range Put into this rank's window this epoch
+	redistWins  map[string]*mpi.Win // redistribution window per dense array
+	redistGroup *mpi.Group          // group the redistribution windows span
 
 	// Redistribution scratch, reused across applyDistribution calls so a
 	// steady stream of redistributions performs no per-call allocation for
@@ -605,7 +633,7 @@ func (rt *Runtime) ensureCommitted() {
 		}
 	}
 	rt.baseLoads = make([]int, len(rt.active))
-	rt.refreshReplicas()
+	rt.refreshReplicasNow()
 }
 
 // Commit forces initialisation before the first cycle so the application

@@ -41,10 +41,16 @@ type LostRange struct {
 }
 
 // replica is a rank's copy of its ring predecessor's rows of one dense
-// array, refreshed by refreshReplicas.
+// array, refreshed by refreshReplicas (paired send/recv) or through the
+// one-sided window machinery in rma.go. data always holds the committed
+// replica; stage is the window memory remote Puts land in under ReplicaRMA,
+// promoted to data only when the epoch-closing fence settles — so an epoch
+// that can no longer settle (the origin died mid-cycle without depositing)
+// leaves the committed replica intact.
 type replica struct {
 	lo, hi int
 	data   []float64
+	stage  []float64
 }
 
 // replicaSlab is the wire form of a replica payload: the row range actually
@@ -175,6 +181,13 @@ func (rt *Runtime) handleFailure() {
 // collectively with identical arguments; rt.dist is still the pre-failure
 // distribution (including the dead ranks).
 func (rt *Runtime) recoverDistribution(newDist *drsd.Block, dead []int) {
+	if rt.cfg.ReplicaRMA {
+		// Settle the replica epoch left open by the last refresh before any
+		// replica is read: the fence fails (the old replica group contains
+		// the dead ranks) and the adoption protocol decides, per array,
+		// whether the dead predecessor's deposit landed in full (rma.go).
+		rt.closeReplicaEpoch()
+	}
 	rt.record(EvRedistStart, 0, "failure")
 	me := rt.comm.Rank()
 	var bytesMoved int64
@@ -229,7 +242,7 @@ func (rt *Runtime) recoverDistribution(newDist *drsd.Block, dead []int) {
 			if tr.From != me {
 				continue
 			}
-			m := redistOut{to: tr.To, rows: tr.Hi - tr.Lo}
+			m := redistOut{to: tr.To, lo: tr.Lo, rows: tr.Hi - tr.Lo}
 			if a.dense != nil {
 				slab := getDenseSlab(m.rows, a.dense.RowLen)
 				a.dense.CopyRowsTo(slab.data, tr.Lo, tr.Hi)
@@ -362,7 +375,7 @@ func (rt *Runtime) recoverDistribution(newDist *drsd.Block, dead []int) {
 			LostRows:   rt.lostRows - lost0,
 		})
 	}
-	rt.refreshReplicas()
+	rt.refreshReplicasNow()
 }
 
 // recoverTransfer satisfies one transfer whose source is dead: from this
@@ -470,6 +483,13 @@ func (rt *Runtime) refreshReplicas() {
 	for _, name := range rt.order {
 		a := rt.arrays[name]
 		if a.dense == nil {
+			continue
+		}
+		if !rt.comm.World().Alive(next) {
+			// The buddy died mid-cycle: its mailbox will never be drained, so
+			// shipping the refresh would only waste injection time. The death
+			// is recovered at the next cycle boundary; skipping here keeps the
+			// send side consistent with the receive side's error handling.
 			continue
 		}
 		rows := hi - lo

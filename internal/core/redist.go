@@ -10,6 +10,10 @@ import (
 	"repro/internal/telemetry"
 )
 
+// redistDone marks an array whose Phase 3 was fully committed through the
+// one-sided path (rma.go) — nothing left for the message-passing drains.
+const redistDone RedistMode = -1
+
 // commitSlab unpacks one received slab into a's resident window — charging
 // the same virtual touches as the per-row formulation (PutRows/UnpackRows
 // price every row) — and recycles the slab.
@@ -94,8 +98,11 @@ func putSparseSlab(s *sparseSlab) {
 }
 
 // redistOut is one outgoing transfer staged during the extraction phase.
+// lo is the transfer's first global row — the RMA commit path derives the
+// destination window offset from it.
 type redistOut struct {
 	to    int
+	lo    int
 	dense *denseSlab
 	spars *sparseSlab
 	rows  int
@@ -143,6 +150,12 @@ func arrivalLess(ins []redistIn, a, b int) bool {
 // that stays — and (4) exchanges exactly the rows the schedule demands.
 // All active ranks call this collectively with identical arguments.
 func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
+	if rt.cfg.ReplicaRMA {
+		// Settle the replica epoch opened at the last refresh point before
+		// any rows move: the group is intact here, so the fence succeeds and
+		// the replicas commit at their pre-redistribution ranges.
+		rt.closeReplicaEpoch()
+	}
 	rt.record(EvRedistStart, 0, "")
 	me := rt.comm.Rank()
 	var bytesMoved int64
@@ -152,6 +165,7 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 	}
 	lost0 := rt.lostRows
 	stall0 := rt.comm.RecvStall
+	rmaDown := false // a fence failed: remaining arrays use the blocking drain
 	olo, ohi := rt.dist.RangeOf(me)
 
 	for _, name := range rt.order {
@@ -188,7 +202,7 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 			if tr.From != me {
 				continue
 			}
-			m := redistOut{to: tr.To, rows: tr.Hi - tr.Lo}
+			m := redistOut{to: tr.To, lo: tr.Lo, rows: tr.Hi - tr.Lo}
 			if a.dense != nil {
 				slab := getDenseSlab(m.rows, a.dense.RowLen)
 				a.dense.CopyRowsTo(slab.data, tr.Lo, tr.Hi)
@@ -231,7 +245,26 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 		// drain is the legacy oracle. Either way the commit — the only part
 		// that advances virtual time — runs in a deterministic order.
 		mv := telemetry.ArrayMove{Name: name}
-		if rt.cfg.RedistMode == RedistBlocking {
+		mode := rt.cfg.RedistMode
+		if mode == RedistRMA {
+			// One-sided commit for dense arrays while the windows are healthy;
+			// sparse arrays — and every array after a fence failure — take the
+			// blocking drain, whose failure handling is self-contained.
+			committed := false
+			if a.dense != nil && !rmaDown {
+				var down bool
+				committed, down = rt.rmaRedistArray(a, sched, newDist, outs, &mv, &bytesMoved)
+				if down {
+					rmaDown = true
+				}
+			}
+			if committed {
+				mode = redistDone
+			} else {
+				mode = RedistBlocking
+			}
+		}
+		if mode == RedistBlocking {
 			for i := range outs {
 				m := &outs[i]
 				if m.dense != nil {
@@ -261,7 +294,7 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 				bytesMoved += int64(st.Bytes)
 				rt.commitSlab(a, tr.Lo, tr.Hi, payload)
 			}
-		} else {
+		} else if mode != redistDone {
 			// Post all Irecvs up front (no virtual charge).
 			ins := rt.insBuf[:0]
 			for _, tr := range sched {

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"repro/internal/drsd"
+	"repro/internal/matrix"
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
+)
+
+// One-sided consumers of the mpi window layer.
+//
+// Replica refresh (Config.ReplicaRMA): the paired-send/recv refresh makes
+// every holder stall in a blocking receive for its predecessor's slab. The
+// one-sided refresh defers that settlement a full cycle: at each refresh
+// point a rank first *closes* the epoch opened at the previous refresh —
+// by then an entire cycle of computation has hidden the wire, so the fence
+// settles with (near) zero stall — and then opens the next epoch by
+// exposing a staging buffer and Putting its own rows into its successor's
+// window. The committed replica (replica.data) is only overwritten when an
+// epoch settles, so a predecessor that dies mid-cycle without depositing
+// leaves the previous committed state intact, exactly like the paired
+// path's keep-the-stale-replica behaviour.
+//
+// Epoch/visibility discipline:
+//
+//   - open: attach stage, fence, Put. The opening fence is the write
+//     barrier that orders every origin's next-epoch Put after every
+//     owner's close-time promotion of the previous stage — without it the
+//     promotion copy would race a fast predecessor's next Put.
+//   - close: fence (settles this rank's deposits), then promote stage to
+//     the committed replica. Promotion is host-only bookkeeping: the
+//     modelled deposit already landed by one-sided DMA, so no virtual
+//     charge is made (the paired path's receive CPU and commit touches are
+//     precisely the cost this mode saves).
+//   - failure: the fence returns *mpi.RankFailedError and settles nothing.
+//     Only a *dead* predecessor's deposit may be adopted (its goroutine is
+//     gone, so the stage cannot be concurrently written): PendingFrom
+//     answers deterministically whether its Put landed in full — a crash
+//     fires at operation entry, so a Put either ran to completion or never
+//     started. A live predecessor's deposit is abandoned (the replica
+//     keeps its previous commit), and the windows are discarded and
+//     rebuilt on the post-recovery group.
+//
+// Redistribution (Config.RedistMode == RedistRMA): see rmaRedistArray.
+
+// repRange is the row range an open replica epoch will commit.
+type repRange struct {
+	lo, hi int
+}
+
+// ReplicaStall reports the cumulative receive-side stall this rank's
+// replica refreshes have cost it (paired receives, or fence settlements
+// under ReplicaRMA). The RMA-vs-p2p study and the refresh benchmarks
+// compare it across modes.
+func (rt *Runtime) ReplicaStall() vclock.Duration { return rt.replicaStall }
+
+// Finish settles any still-open replica epoch. Applications (and the apps
+// harness) call it once per rank after the last cycle; without it the
+// final epoch's deposits would be left pending on world teardown. Safe to
+// call multiple times and when replication or RMA mode is off.
+func (rt *Runtime) Finish() {
+	if rt.cfg.ReplicaRMA {
+		rt.closeReplicaEpoch()
+	}
+}
+
+// refreshReplicasNow runs one replica refresh in the configured mode,
+// accounting the receive-side stall it cost.
+func (rt *Runtime) refreshReplicasNow() {
+	if rt.cfg.ReplicaRMA {
+		rt.closeReplicaEpoch()
+		rt.openReplicaEpoch()
+		return
+	}
+	stall0 := rt.comm.RecvStall
+	rt.refreshReplicas()
+	rt.replicaStall += rt.comm.RecvStall - stall0
+}
+
+// openReplicaEpoch exposes this rank's staging buffers and Puts its owned
+// rows into its ring successor's windows, leaving the epoch open for the
+// next refresh point to close. Every rank of the current distribution
+// calls it collectively.
+func (rt *Runtime) openReplicaEpoch() {
+	if !rt.cfg.Replicate || rt.isOut {
+		return
+	}
+	ranks := rt.dist.Ranks()
+	if len(ranks) < 2 {
+		rt.replicas = nil
+		return
+	}
+	me := rt.comm.Rank()
+	self := -1
+	for i, r := range ranks {
+		if r == me {
+			self = i
+		}
+	}
+	if self < 0 {
+		return
+	}
+	stall0 := rt.comm.RecvStall
+	if !equalInts(rt.repRanks, ranks) {
+		// Membership changed (or first open): discard whatever is pending
+		// on the abandoned windows, then register fresh ones on the new
+		// group. Registration order is rt.order on every member, so the
+		// k-th WinCreate of each member meets on the same window.
+		rt.discardReplicaWindows()
+		g := rt.comm.World().NewGroup(ranks)
+		rt.repWins = make(map[string]*mpi.Win, len(rt.order))
+		for _, name := range rt.order {
+			if rt.arrays[name].dense == nil {
+				continue
+			}
+			rt.repWins[name] = rt.comm.WinCreate(g, nil)
+		}
+		rt.repRanks = append(rt.repRanks[:0], ranks...)
+	}
+	rt.repPrev = ranks[(self-1+len(ranks))%len(ranks)]
+	rt.repNext = ranks[(self+1)%len(ranks)]
+	if rt.replicas == nil {
+		rt.replicas = make(map[string]*replica)
+	}
+	if rt.repPend == nil {
+		rt.repPend = make(map[string]repRange)
+	}
+	plo, phi := rt.dist.RangeOf(rt.repPrev)
+	lo, hi := rt.dist.RangeOf(me)
+	for _, name := range rt.order {
+		a := rt.arrays[name]
+		if a.dense == nil {
+			continue
+		}
+		win := rt.repWins[name]
+		rep := rt.replicas[name]
+		if rep == nil {
+			rep = &replica{}
+			rt.replicas[name] = rep
+		}
+		n := (phi - plo) * a.dense.RowLen
+		if cap(rep.stage) < n {
+			rep.stage = make([]float64, n)
+		} else {
+			rep.stage = rep.stage[:n]
+		}
+		rt.comm.WinAttach(win, mpi.FlatMem(rep.stage))
+		// The opening fence publishes the attach and orders this epoch's
+		// remote Puts after every member's close of the previous one.
+		if err := rt.comm.FenceErr(win); err != nil {
+			// A member died before the epoch could open. Leave it closed;
+			// recovery at the next cycle boundary rebuilds the windows.
+			rt.absorbDead(rt.deadOf(err))
+			rt.repRanks = rt.repRanks[:0]
+			rt.replicaStall += rt.comm.RecvStall - stall0
+			return
+		}
+		rt.repPend[name] = repRange{lo: plo, hi: phi}
+		if hi > lo {
+			// Origin-side injection: the same packing touches and Put CPU a
+			// paired sender pays — the saving is entirely holder-side.
+			slab := getDenseSlab(hi-lo, a.dense.RowLen)
+			a.dense.CopyRowsTo(slab.data, lo, hi)
+			for g := lo; g < hi; g++ {
+				rt.node.ChargeTouch(a.dense.RowBytes())
+			}
+			rt.comm.Put(win, rt.repNext, 0, slab.data)
+			putDenseSlab(slab)
+		}
+	}
+	rt.repOpen = true
+	rt.replicaStall += rt.comm.RecvStall - stall0
+}
+
+// closeReplicaEpoch settles the replica epoch left open by the last
+// refresh point, promoting each staged deposit to the committed replica.
+// No-op when no epoch is open. On a failed fence it runs the adoption
+// protocol documented at the top of the file.
+func (rt *Runtime) closeReplicaEpoch() {
+	if !rt.repOpen {
+		return
+	}
+	rt.repOpen = false
+	stall0 := rt.comm.RecvStall
+	failed := false
+	for _, name := range rt.order {
+		a := rt.arrays[name]
+		if a.dense == nil {
+			continue
+		}
+		win := rt.repWins[name]
+		rep := rt.replicas[name]
+		pend := rt.repPend[name]
+		if err := rt.comm.FenceErr(win); err != nil {
+			failed = true
+			rt.absorbDead(rt.deadOf(err))
+			adopt := false
+			if !rt.comm.World().Alive(rt.repPrev) {
+				want := (pend.hi - pend.lo) * a.dense.RowLen
+				elems, ok := rt.comm.PendingFrom(win, rt.repPrev)
+				adopt = want == 0 || (ok && elems == want)
+			}
+			rt.comm.DiscardPending(win)
+			if adopt {
+				rt.promoteReplica(a, rep, pend)
+			}
+			continue
+		}
+		rt.promoteReplica(a, rep, pend)
+	}
+	if failed {
+		// Abandon the windows: the group lost a member, so no further epoch
+		// can settle on them. The next open discards any deposit a slow
+		// survivor lands in the meantime and rebuilds on the new group.
+		rt.repRanks = rt.repRanks[:0]
+	}
+	rt.replicaStall += rt.comm.RecvStall - stall0
+}
+
+// promoteReplica commits one settled stage as the array's replica.
+// Host-only bookkeeping: the modelled transfer already landed one-sided,
+// so no virtual cost is charged (see the file comment).
+func (rt *Runtime) promoteReplica(a *regArray, rep *replica, pend repRange) {
+	n := (pend.hi - pend.lo) * a.dense.RowLen
+	if cap(rep.data) < n {
+		rep.data = make([]float64, n)
+	} else {
+		rep.data = rep.data[:n]
+	}
+	copy(rep.data, rep.stage[:n])
+	rep.lo, rep.hi = pend.lo, pend.hi
+}
+
+// discardReplicaWindows drops every deposit still pending against this
+// rank's slots of the current replica windows, releasing them before the
+// windows are abandoned for a new group.
+func (rt *Runtime) discardReplicaWindows() {
+	for _, win := range rt.repWins {
+		rt.comm.DiscardPending(win)
+	}
+}
+
+// --- RedistRMA ------------------------------------------------------------
+
+// denseWinMem exposes a dense array's resident window [wlo,whi) as window
+// memory: element offset 0 is row wlo. Rows may be non-contiguous
+// (Projection scheme), which is why the window layer takes an interface
+// rather than a flat slice. Access is raw — no virtual touches — because
+// deposits model one-sided DMA into the exposed rows.
+type denseWinMem struct {
+	d   *matrix.Dense
+	wlo int
+}
+
+func (m denseWinMem) WriteAt(off int, src []float64) {
+	rl := m.d.RowLen
+	g := m.wlo + off/rl
+	for len(src) > 0 {
+		copy(m.d.Row(g), src[:rl])
+		src = src[rl:]
+		g++
+	}
+}
+
+func (m denseWinMem) ReadAt(off int, dst []float64) {
+	rl := m.d.RowLen
+	g := m.wlo + off/rl
+	for len(dst) > 0 {
+		copy(dst[:rl], m.d.Row(g))
+		dst = dst[rl:]
+		g++
+	}
+}
+
+func (m denseWinMem) Len() int { return (m.d.Hi() - m.d.Lo()) * m.d.RowLen }
+
+// redistWinFor returns the one-sided window redistribution uses for array
+// a, creating the per-array windows the first time the active group needs
+// them. All active ranks call applyDistribution collectively, so creation
+// order (rt.order) is identical on every member.
+func (rt *Runtime) redistWinFor(a *regArray) *mpi.Win {
+	if rt.redistGroup != rt.group {
+		rt.redistGroup = rt.group
+		rt.redistWins = make(map[string]*mpi.Win, len(rt.order))
+		for _, name := range rt.order {
+			if rt.arrays[name].dense == nil {
+				continue
+			}
+			rt.redistWins[name] = rt.comm.WinCreate(rt.group, nil)
+		}
+	}
+	return rt.redistWins[a.name]
+}
+
+// rmaRedistArray runs Phase 3 of one dense array's redistribution through
+// a one-sided window: the receiver exposes its freshly resized resident
+// window (Phase 2 has run), an opening fence publishes the attachments,
+// senders Put their packed slabs directly at destination offsets both
+// sides compute from the schedule, and the closing fence settles the
+// deposits — there is no harvest loop and no commit loop, and the receiver
+// pays neither per-message CPU nor commit touches.
+//
+// Returns (committed, down): committed reports whether the array's
+// exchange was fully handled here; down reports that a fence failed and
+// the remaining arrays must fall back to the blocking drain. An opening
+// -fence failure returns (false, true) with outs untouched — the caller
+// re-runs the array through the blocking path. A closing-fence failure is
+// handled in full: a marker exchange restores the ordering the fence
+// would have provided, live senders' rows are kept, and a dead sender's
+// rows are kept only when PendingFrom proves its Puts landed completely.
+func (rt *Runtime) rmaRedistArray(a *regArray, sched []drsd.Transfer, newDist *drsd.Block, outs []redistOut, mv *telemetry.ArrayMove, bytesMoved *int64) (bool, bool) {
+	me := rt.comm.Rank()
+	win := rt.redistWinFor(a)
+	nlo, nhi := newDist.RangeOf(me)
+	wlo, _ := drsd.Window(a.accesses, nlo, nhi, rt.n)
+	rt.comm.WinAttach(win, denseWinMem{d: a.dense, wlo: wlo})
+	if err := rt.comm.FenceErr(win); err != nil {
+		rt.absorbDead(rt.deadOf(err))
+		rt.redistGroup = nil
+		return false, true
+	}
+	for i := range outs {
+		m := &outs[i]
+		tlo, thi := newDist.RangeOf(m.to)
+		twlo, _ := drsd.Window(a.accesses, tlo, thi, rt.n)
+		rt.comm.Put(win, m.to, (m.lo-twlo)*a.dense.RowLen, m.dense.data)
+		putDenseSlab(m.dense)
+		m.dense = nil
+		mv.Rows += m.rows
+		mv.Bytes += int64(m.bytes)
+		*bytesMoved += int64(m.bytes)
+	}
+	err := rt.comm.FenceErr(win)
+	if err == nil {
+		for _, tr := range sched {
+			if tr.To == me {
+				*bytesMoved += int64(tr.Hi-tr.Lo) * a.dense.RowBytes()
+			}
+		}
+		return true, false
+	}
+	rt.absorbDead(rt.deadOf(err))
+
+	// Marker exchange: a live sender's marker follows its Puts in program
+	// order, so receiving it restores the happens-before edge the failed
+	// fence could not provide before this rank touches the landed rows.
+	tag := tagRedistSync + a.index
+	sentTo := map[int]bool{}
+	for _, tr := range sched {
+		if tr.From == me && tr.To != me && !sentTo[tr.To] && rt.comm.World().Alive(tr.To) {
+			rt.comm.Send(tr.To, tag, nil, 0)
+			sentTo[tr.To] = true
+		}
+	}
+	synced := map[int]bool{}  // origin -> marker exchange completed
+	decided := map[int]bool{} // origin -> verdict cached in kept
+	kept := map[int]bool{}
+	for _, tr := range sched {
+		if tr.To != me || tr.From == me {
+			continue
+		}
+		if _, seen := synced[tr.From]; !seen {
+			_, _, rerr := rt.comm.RecvErr(tr.From, tag)
+			if rerr != nil {
+				rt.absorbDead(rt.deadOf(rerr))
+			}
+			synced[tr.From] = rerr == nil
+		}
+	}
+	for _, tr := range sched {
+		if tr.To != me {
+			continue
+		}
+		if tr.From == me {
+			// This rank's own Put ran to completion by definition.
+			*bytesMoved += int64(tr.Hi-tr.Lo) * a.dense.RowBytes()
+			continue
+		}
+		keep := synced[tr.From]
+		if !keep {
+			// The origin is dead. Its Puts either all landed before the
+			// crash or the tail never ran (a crash fires at operation
+			// entry); PendingFrom decides deterministically, and a partial
+			// landing conservatively loses every transfer from that origin.
+			if !decided[tr.From] {
+				want := 0
+				for _, t2 := range sched {
+					if t2.To == me && t2.From == tr.From {
+						want += (t2.Hi - t2.Lo) * a.dense.RowLen
+					}
+				}
+				elems, ok := rt.comm.PendingFrom(win, tr.From)
+				kept[tr.From] = ok && elems == want
+				decided[tr.From] = true
+			}
+			keep = kept[tr.From]
+		}
+		if keep {
+			*bytesMoved += int64(tr.Hi-tr.Lo) * a.dense.RowBytes()
+		} else {
+			rt.loseRows(a, tr.Lo, tr.Hi)
+		}
+	}
+	rt.comm.DiscardPending(win)
+	rt.redistGroup = nil
+	return true, true
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -122,6 +122,34 @@ func gatherCost(net cluster.NetParams, n, bytes int) collCost {
 // callers pass the receiver wall time elapsed since the matching send
 // completed (on a common phase-start reference).
 
+// --- one-sided (RMA) pricing ---------------------------------------------
+//
+// The one-sided layer (window.go) likewise reuses the point-to-point
+// closed forms; its epoch arithmetic, which the RMA crosscheck tests
+// validate against per-message Send/Recv simulation, is:
+//
+//	Put(b)               origin pays cpuCost(b) at post;
+//	                     arrival = post + wireTime(b). The target pays
+//	                     nothing per message.
+//	Get(b)               origin pays cpuCost(0) at post (the zero-byte
+//	                     request); arrival = post + Latency + wireTime(b);
+//	                     the origin pays cpuCost(b) when its fence settles
+//	                     the landing.
+//	Fence                synchronisation = barrierCost(n) exactly (the
+//	                     same dissemination butterfly); then the owner
+//	                     settles each deposit in arrival order, stalling
+//	                     nbRecvStall(b, overlap) where overlap is the
+//	                     owner's wall time already elapsed past the
+//	                     deposit's post — wire time hidden behind the
+//	                     owner's compute is credited to Comm.HiddenWire,
+//	                     never charged.
+//
+// Relative to a paired Isend/Irecv+Wait of the same payload, the target
+// side of a Put therefore saves exactly cpuCost(b) — the receive-side
+// copy — per message, plus the per-message matching stall; that closed
+// delta is what the crosscheck tests assert and the refresh/redist
+// consumers in internal/core spend.
+
 // nbRecvStall predicts the Wait-side stall of a nonblocking receive of b
 // bytes when `overlap` of receiver wall time elapsed between the matching
 // send's completion and the Wait.

@@ -136,6 +136,7 @@ const (
 	opAllgather
 	opAllgatherF64
 	opGather
+	opFence
 	opKinds // count sentinel
 )
 
@@ -143,11 +144,13 @@ const (
 // and stats (the algorithm is the cost-model tree, see cost.go).
 var kindNames = [opKinds]string{
 	"barrier", "bcast", "allreduce", "allgather", "allgather-f64", "gather",
+	"fence",
 }
 
 var kindAlgorithms = [opKinds]string{
 	"dissemination", "binomial-tree", "recursive-doubling",
 	"recursive-doubling", "recursive-doubling", "binomial-gather",
+	"dissemination",
 }
 
 // collDesc describes one collective invocation. Every member passes an
@@ -271,6 +274,14 @@ type Group struct {
 	// retain the shared slice.
 	f64Pool sync.Pool
 
+	// One-sided windows registered on this group (see window.go). winSeq[s]
+	// counts member s's WinCreate calls and is written only by that member's
+	// goroutine; the k-th call of every member resolves to wins[k], which is
+	// what lets SPMD ranks meet on the same window without naming it.
+	winMu  sync.Mutex
+	wins   []*Win
+	winSeq []int64
+
 	stats collStats
 }
 
@@ -338,6 +349,7 @@ func (w *World) NewGroup(members []int) *Group {
 		members: append([]int(nil), members...),
 		slot:    make(map[int]int, len(members)),
 		seq:     make([]int64, len(members)),
+		winSeq:  make([]int64, len(members)),
 	}
 	for i, m := range members {
 		if _, dup := g.slot[m]; dup {
@@ -686,6 +698,11 @@ func buildResult(g *Group, op *opState, desc *collDesc) (cost collCost, err erro
 	switch desc.kind {
 	case opBarrier:
 		cost = barrierCost(net, n)
+	case opFence:
+		// The fence's synchronisation component is exactly a dissemination
+		// barrier; the deposit settlement (stall + landing CPU) is charged by
+		// each owner on its own clock after the rendezvous (see window.go).
+		cost = barrierCost(net, n)
 	case opBcast:
 		cost = bcastCost(net, n, bytes)
 		if desc.pooled {
@@ -904,7 +921,8 @@ func (g *Group) leakedOps() int {
 
 // LeakedOps reports the number of collective rendezvous slots left
 // undrained across all groups, plus the number of nonblocking receive
-// requests still posted in a mailbox. After a Run that completes without
+// requests still posted in a mailbox, plus the number of one-sided
+// deposits never settled by a fence (see window.go). After a Run that completes without
 // failing the world this is zero — even when ranks crashed mid-collective
 // or mid-Wait — which the failure tests assert; a non-zero count means some
 // op's bookkeeping was orphaned (the bug class the adoption walk and the
@@ -914,6 +932,7 @@ func (w *World) LeakedOps() int {
 	w.groups.Lock()
 	for _, g := range w.groups.list {
 		total += g.leakedOps()
+		total += g.pendingDeposits()
 	}
 	w.groups.Unlock()
 	for _, b := range w.boxes {

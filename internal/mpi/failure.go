@@ -61,6 +61,12 @@ func (w *World) Kill(rank int) {
 	for _, g := range groups {
 		if slot, ok := g.slot[rank]; ok {
 			g.adoptOrphans(slot)
+			// Deposits targeting the dead rank's window slots will never be
+			// fence-drained (only the owner drains its slot); drop them so
+			// they do not count as leaked. Deposits *from* the dead rank in
+			// live owners' slots stay — the owner inspects them through
+			// PendingFrom after its fence fails, then discards.
+			g.dropWindowSlot(slot)
 		}
 		g.wakeAll()
 	}

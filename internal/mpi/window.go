@@ -1,0 +1,478 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/telemetry"
+	"repro/internal/vclock"
+)
+
+// One-sided RMA layer: windows, Put/Get, and fence epochs.
+//
+// A Win exposes each group member's slab memory for direct remote access.
+// Between two fences (an epoch), any member may Put into — or Get from —
+// any other member's window; the owner does not participate per message.
+// The fence closes the epoch: it synchronises the group (priced as a
+// dissemination barrier, see cost.go) and then settles every deposit that
+// landed in the caller's own window during the epoch, in a deterministic
+// order.
+//
+// Virtual-time contract (the one-sided analogue of the request layer's):
+//
+//   - Put charges the origin exactly what Send charges a sender: the CPU
+//     injection cost at post time, with the data arriving wireTime later.
+//     The target is not disturbed at all — no matching, no receive-side
+//     CPU. This is the modelled saving over paired send/recv: the copy
+//     lands by (virtual) DMA into the exposed memory.
+//   - Get charges the origin a zero-byte injection at post time; the data
+//     arrives one latency (the request reaching the target's NIC) plus the
+//     payload's wireTime later, and the origin pays the landing CPU cost
+//     when its own fence settles the transfer.
+//   - Fence advances every member to a common barrier-completion time,
+//     then each owner drains its own deposits: residual wire time not
+//     already hidden behind the owner's computation is paid as stall
+//     (accumulated into Comm.RecvStall) and the hidden remainder is
+//     credited to Comm.HiddenWire — the exact arithmetic of a request
+//     Wait, validated against per-message Send/Recv simulation by the
+//     crosscheck tests.
+//
+// Failure contract: a fence whose group lost a member returns
+// *RankFailedError and settles nothing — no deposit is drained and the
+// epoch does not advance, so the call can never hang on a dead peer. The
+// owner may then inspect the dead origin's deposits with PendingFrom (a
+// crashed rank's Puts completed before its death was published, on its own
+// goroutine, so presence is deterministic) and must release the window
+// with DiscardPending before abandoning it. Put and Get on a target
+// already marked dead deposit nothing; the death is reported at the fence.
+//
+// Memory visibility: deposits mutate the target's memory at call time,
+// under the target slot's mutex. The owner must not access the exposed
+// range while an epoch in which remote ranks deposit is open — the same
+// rule as MPI_Win_fence — and may freely access it between an epoch-closing
+// fence and the next deposit (the fence's rendezvous atomics carry the
+// happens-before edge from every origin's write to the owner's reads).
+
+// WinMem is memory exposed through a window, in float64 elements. The
+// indirection (instead of a flat slice) lets owners expose non-contiguous
+// storage — a matrix.Dense projection's per-row slices — without copying
+// it into a registration buffer.
+type WinMem interface {
+	// WriteAt copies src into the exposed memory at element offset off.
+	WriteAt(off int, src []float64)
+	// ReadAt fills dst from the exposed memory at element offset off.
+	ReadAt(off int, dst []float64)
+	// Len reports the exposed extent in elements.
+	Len() int
+}
+
+// FlatMem exposes a flat []float64 as window memory.
+type FlatMem []float64
+
+// WriteAt implements WinMem.
+func (m FlatMem) WriteAt(off int, src []float64) { copy(m[off:off+len(src)], src) }
+
+// ReadAt implements WinMem.
+func (m FlatMem) ReadAt(off int, dst []float64) { copy(dst, m[off:off+len(dst)]) }
+
+// Len implements WinMem.
+func (m FlatMem) Len() int { return len(m) }
+
+// deposit is one one-sided transfer landed in a window slot, recorded at
+// the origin's post time and settled by the owner's epoch-closing fence.
+// Deposits are stored by value in the slot's pending list, so the
+// steady-state Put path performs no heap allocation once the list's
+// high-water mark is reached.
+type deposit struct {
+	originSlot int
+	off        int
+	elems      int
+	bytes      int
+	get        bool        // origin-side landing of a Get (owner pays the CPU copy)
+	post       vclock.Time // origin clock when the transfer was injected
+	avail      vclock.Time // when the data has fully arrived
+	seq        int64       // per-origin program order, for deterministic ties
+	epoch      int64       // epoch the transfer belongs to
+}
+
+// winSlot is one member's side of a window: its attached memory and the
+// deposits pending against it. mu serialises remote deposits with each
+// other and with the owner's drain; drain is the owner-only settlement
+// scratch (filled under mu, consumed outside it).
+type winSlot struct {
+	mu    sync.Mutex
+	mem   WinMem
+	dep   []deposit
+	drain []deposit
+}
+
+// Win is a one-sided access window over each group member's memory. All
+// members create it collectively (the k-th WinCreate call of every member
+// resolves to the same Win) and advance its epochs together through Fence.
+type Win struct {
+	g     *Group
+	id    int // index within the group's window registry
+	slots []winSlot
+
+	// epoch[s] is member s's current epoch number and putSeq[s] its
+	// program-order deposit counter; both are written only by member s's
+	// goroutine. Fences advance every member's epoch in lockstep, so an
+	// origin's stamp names exactly the epoch the owner will drain —
+	// including across the physical race where a fast origin starts the
+	// next epoch's Puts while the owner is still settling this one.
+	epoch  []int64
+	putSeq []int64
+}
+
+func newWin(g *Group, id int) *Win {
+	n := len(g.members)
+	return &Win{
+		g:      g,
+		id:     id,
+		slots:  make([]winSlot, n),
+		epoch:  make([]int64, n),
+		putSeq: make([]int64, n),
+	}
+}
+
+// Group returns the group the window spans.
+func (win *Win) Group() *Group { return win.g }
+
+// ID reports the window's index within its group's registry (stable across
+// members: every member's k-th WinCreate call yields window k).
+func (win *Win) ID() int { return win.id }
+
+// WinCreate registers this rank's memory in a window over g. Like groups,
+// windows are canonical per creation order: the k-th call on g by every
+// member returns the same Win, which is how SPMD ranks meet on a window
+// without naming it. mem may be nil for members that expose nothing (pure
+// origins). The window is usable once every member has both created it and
+// passed a first Fence — creation itself synchronises nothing.
+func (c *Comm) WinCreate(g *Group, mem WinMem) *Win {
+	c.checkFailed()
+	slot := c.groupSlot(g)
+	k := g.winSeq[slot]
+	g.winSeq[slot]++
+	g.winMu.Lock()
+	for int64(len(g.wins)) <= k {
+		g.wins = append(g.wins, newWin(g, len(g.wins)))
+	}
+	win := g.wins[k]
+	g.winMu.Unlock()
+	c.WinAttach(win, mem)
+	return win
+}
+
+// WinAttach replaces this rank's exposed memory. The caller must separate
+// the attach from any remote deposit against it with a Fence (the same
+// epoch discipline as any other local access to window memory).
+func (c *Comm) WinAttach(win *Win, mem WinMem) {
+	slot := c.groupSlot(win.g)
+	ts := &win.slots[slot]
+	ts.mu.Lock()
+	ts.mem = mem
+	ts.mu.Unlock()
+}
+
+// Put starts a one-sided transfer of src into target's window memory at
+// element offset off. It completes at the next Fence: the origin pays the
+// injection CPU now, the target pays nothing per message, and the residual
+// wire time is settled when the target's fence closes the epoch. src is
+// copied at call time, so the caller may reuse it immediately. A Put to a
+// target already marked dead deposits nothing; the death surfaces as the
+// fence's *RankFailedError.
+func (c *Comm) Put(win *Win, target, off int, src []float64) {
+	c.checkFailed()
+	g := win.g
+	tslot, ok := g.slot[target]
+	if !ok {
+		panic(fmt.Sprintf("mpi: put to rank %d outside window group", target))
+	}
+	var faultDelay vclock.Duration
+	if c.flt != nil {
+		c.pollFaults()
+		faultDelay = c.messageFault(target)
+	}
+	net := c.w.cl.Net()
+	bytes := F64Bytes(len(src))
+	c.node.Compute(cpuCost(net, bytes))
+	post := c.node.Now()
+	c.SentMsgs++
+	c.SentBytes += int64(bytes)
+	oslot := c.groupSlot(g)
+	win.putSeq[oslot]++
+	ts := &win.slots[tslot]
+	ts.mu.Lock()
+	if c.w.deadCount.Load() > 0 && c.w.dead[target].Load() {
+		// The dead slot's pending list was already reclaimed by Kill and no
+		// fence will ever drain it; depositing would leak.
+		ts.mu.Unlock()
+		return
+	}
+	if ts.mem == nil {
+		ts.mu.Unlock()
+		panic(fmt.Sprintf("mpi: put into window %d slot of rank %d with no memory attached", win.id, target))
+	}
+	if len(src) > 0 {
+		ts.mem.WriteAt(off, src)
+	}
+	ts.dep = append(ts.dep, deposit{
+		originSlot: oslot,
+		off:        off,
+		elems:      len(src),
+		bytes:      bytes,
+		post:       post,
+		avail:      post.Add(wireTime(net, bytes) + faultDelay),
+		seq:        win.putSeq[oslot],
+		epoch:      win.epoch[oslot],
+	})
+	ts.mu.Unlock()
+}
+
+// Get starts a one-sided read of target's window memory at element offset
+// off into dst. The data is captured at call time (the epoch discipline
+// guarantees it is stable) and becomes usable after the origin's next
+// Fence, which pays the landing CPU cost; the target is not disturbed. The
+// modelled arrival is one latency (the zero-byte request reaching the
+// target) plus the payload's wire time.
+func (c *Comm) Get(win *Win, target, off int, dst []float64) {
+	c.checkFailed()
+	g := win.g
+	tslot, ok := g.slot[target]
+	if !ok {
+		panic(fmt.Sprintf("mpi: get from rank %d outside window group", target))
+	}
+	var faultDelay vclock.Duration
+	if c.flt != nil {
+		c.pollFaults()
+		faultDelay = c.messageFault(target)
+	}
+	net := c.w.cl.Net()
+	bytes := F64Bytes(len(dst))
+	c.node.Compute(cpuCost(net, 0)) // zero-byte request injection
+	post := c.node.Now()
+	oslot := c.groupSlot(g)
+	win.putSeq[oslot]++
+	ts := &win.slots[tslot]
+	ts.mu.Lock()
+	if c.w.deadCount.Load() > 0 && c.w.dead[target].Load() {
+		ts.mu.Unlock()
+		return
+	}
+	if ts.mem == nil {
+		ts.mu.Unlock()
+		panic(fmt.Sprintf("mpi: get from window %d slot of rank %d with no memory attached", win.id, target))
+	}
+	if len(dst) > 0 {
+		ts.mem.ReadAt(off, dst)
+	}
+	ts.mu.Unlock()
+	// The landing settles at the origin's own fence: a self-deposit.
+	os := &win.slots[oslot]
+	os.mu.Lock()
+	os.dep = append(os.dep, deposit{
+		originSlot: oslot,
+		off:        off,
+		elems:      len(dst),
+		bytes:      bytes,
+		get:        true,
+		post:       post,
+		avail:      post.Add(net.Latency + wireTime(net, bytes) + faultDelay),
+		seq:        win.putSeq[oslot],
+		epoch:      win.epoch[oslot],
+	})
+	os.mu.Unlock()
+}
+
+// Fence closes the window's current epoch, failing the whole world when a
+// group member is dead (mirroring the blocking collectives).
+func (c *Comm) Fence(win *Win) {
+	if err := c.FenceErr(win); err != nil {
+		c.w.fail(fmt.Errorf("rank %d: %w", c.rank, err))
+		panic(errFailed)
+	}
+}
+
+// FenceErr closes the window's current epoch: it synchronises the group (a
+// dissemination barrier), then settles every deposit that landed in the
+// caller's own window during the epoch — in (arrival, origin, program
+// order) order, so the settlement is deterministic regardless of physical
+// scheduling — and opens the next epoch. When a group member is dead it
+// returns *RankFailedError without settling anything or advancing the
+// epoch; see PendingFrom and DiscardPending for the recovery protocol.
+func (c *Comm) FenceErr(win *Win) error {
+	if _, err := c.rendezvousErr(win.g, nil, nil, &collDesc{kind: opFence}, nil); err != nil {
+		return err
+	}
+	slot := c.groupSlot(win.g)
+	ep := win.epoch[slot]
+	ts := &win.slots[slot]
+	ts.mu.Lock()
+	drain := ts.drain[:0]
+	keep := ts.dep[:0]
+	for _, d := range ts.dep {
+		if d.epoch == ep {
+			drain = append(drain, d)
+		} else {
+			// A faster origin already passed this fence and opened the next
+			// epoch; its deposits stay for the next settlement.
+			keep = append(keep, d)
+		}
+	}
+	// Clear the tail so dropped entries do not linger in the backing array.
+	for i := len(keep); i < len(ts.dep); i++ {
+		ts.dep[i] = deposit{}
+	}
+	ts.dep = keep
+	ts.mu.Unlock()
+	sortDeposits(drain)
+	net := c.w.cl.Net()
+	var stall, hidden vclock.Duration
+	var bytes int64
+	for i := range drain {
+		d := &drain[i]
+		s := d.avail.Sub(c.node.Now())
+		if s < 0 {
+			s = 0
+		}
+		c.RecvStall += s
+		stall += s
+		c.node.WaitUntil(d.avail)
+		if d.get {
+			c.node.Compute(cpuCost(net, d.bytes))
+		}
+		c.RecvMsgs++
+		c.RecvBytes += int64(d.bytes)
+		if inflight := d.avail.Sub(d.post); inflight > 0 {
+			if h := inflight - s; h > 0 {
+				c.HiddenWire += h
+				hidden += h
+			}
+		}
+		bytes += int64(d.bytes)
+	}
+	ts.drain = drain
+	win.epoch[slot] = ep + 1
+	if len(drain) > 0 {
+		c.emitRMA(win.id, len(drain), bytes, stall, hidden)
+	}
+	return nil
+}
+
+// sortDeposits orders deposits by (arrival, origin slot, per-origin program
+// order) — a total, schedule-independent order. Insertion sort: epochs
+// settle a handful of deposits, and the sort must not allocate (the fence
+// is on the zero-alloc steady-state path).
+func sortDeposits(d []deposit) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && depositLess(&d[j], &d[j-1]); j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+}
+
+func depositLess(a, b *deposit) bool {
+	if a.avail != b.avail {
+		return a.avail < b.avail
+	}
+	if a.originSlot != b.originSlot {
+		return a.originSlot < b.originSlot
+	}
+	return a.seq < b.seq
+}
+
+// emitRMA emits an RMARecord for a settled epoch through the node's
+// telemetry sink, if one is attached.
+func (c *Comm) emitRMA(window, deposits int, bytes int64, stall, hidden vclock.Duration) {
+	sink, st := c.node.Telemetry()
+	if sink == nil {
+		return
+	}
+	sink.Emit(telemetry.RMARecord{
+		Base:     st.Stamp(telemetry.KindRMA, -1, c.node.Now().Seconds()),
+		Op:       "fence",
+		Window:   window,
+		Deposits: deposits,
+		Bytes:    bytes,
+		StallS:   stall.Seconds(),
+		HiddenS:  hidden.Seconds(),
+	})
+}
+
+// PendingFrom reports the total elements deposited into this rank's window
+// slot by origin during the still-open epoch, and whether any deposit is
+// present. It is meaningful after FenceErr returned a *RankFailedError and
+// origin is dead: a crashed rank's Puts completed before its death was
+// published (same goroutine), so presence answers deterministically
+// whether the dead origin's transfer landed in full — a Put either ran to
+// completion or never started (crashes fire at operation entry).
+func (c *Comm) PendingFrom(win *Win, origin int) (elems int, ok bool) {
+	oslot, member := win.g.slot[origin]
+	if !member {
+		return 0, false
+	}
+	slot := c.groupSlot(win.g)
+	ep := win.epoch[slot]
+	ts := &win.slots[slot]
+	ts.mu.Lock()
+	for i := range ts.dep {
+		if d := &ts.dep[i]; d.originSlot == oslot && d.epoch == ep && !d.get {
+			elems += d.elems
+			ok = true
+		}
+	}
+	ts.mu.Unlock()
+	return elems, ok
+}
+
+// DiscardPending drops every deposit pending against this rank's window
+// slot, releasing it after a failed fence (the epoch can no longer settle:
+// the group lost a member and the window is being abandoned). Without the
+// discard the deposits would count as leaked operations.
+func (c *Comm) DiscardPending(win *Win) {
+	slot := c.groupSlot(win.g)
+	ts := &win.slots[slot]
+	ts.mu.Lock()
+	for i := range ts.dep {
+		ts.dep[i] = deposit{}
+	}
+	ts.dep = ts.dep[:0]
+	ts.mu.Unlock()
+}
+
+// dropWindowSlot reclaims the pending deposits of a dead member's window
+// slots: only the owner drains a slot, and the owner is gone. Called by
+// World.Kill.
+func (g *Group) dropWindowSlot(slot int) {
+	g.winMu.Lock()
+	wins := g.wins
+	g.winMu.Unlock()
+	for _, win := range wins {
+		ts := &win.slots[slot]
+		ts.mu.Lock()
+		for i := range ts.dep {
+			ts.dep[i] = deposit{}
+		}
+		ts.dep = ts.dep[:0]
+		ts.mu.Unlock()
+	}
+}
+
+// pendingDeposits counts deposits still pending across the group's
+// windows, for leak accounting (see World.LeakedOps). A run that closes
+// its epochs (or discards them after a failure) leaves zero.
+func (g *Group) pendingDeposits() int {
+	g.winMu.Lock()
+	wins := g.wins
+	g.winMu.Unlock()
+	n := 0
+	for _, win := range wins {
+		for i := range win.slots {
+			ts := &win.slots[i]
+			ts.mu.Lock()
+			n += len(ts.dep)
+			ts.mu.Unlock()
+		}
+	}
+	return n
+}

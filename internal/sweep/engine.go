@@ -16,6 +16,12 @@ type Options struct {
 	// one scheduler round. <= 0 means 1. Jobs affects only wall-clock
 	// time; the report is byte-identical for any value.
 	Jobs int
+	// OnCell, when non-nil, is called from the scheduler goroutine each
+	// time a cell finalizes — in completion order, which depends on Jobs
+	// and admission interleaving. Streaming consumers emit rows live from
+	// it and re-sort by Cell.Index at the end; the cell contents themselves
+	// are deterministic, only the callback order is not.
+	OnCell func(CellResult)
 }
 
 // CellResult is one cell's outcome.
@@ -116,6 +122,9 @@ func Run(o Options) (*Result, error) {
 		}
 		res.Cells[w.cell.Index] = cr
 		active--
+		if o.OnCell != nil {
+			o.OnCell(cr)
+		}
 	}
 	// classify routes a quiescent world: back into the queue if it will run
 	// another cycle, into finalize if it has completed.

@@ -1,6 +1,7 @@
 // Package sweep multiplexes many deterministic virtual-time worlds under a
 // single scheduler. A Grid enumerates a parameter space (scenario × ranks ×
-// grace period × overlap × faults × replication) into Cells; the engine in
+// grace period × overlap × faults × replication × one-sided commits) into
+// Cells; the engine in
 // engine.go runs each cell as its own goroutine-per-rank world behind a
 // core.WorldGate and advances the active worlds in global virtual-time
 // order, stepping the globally-earliest ones concurrently.
@@ -38,13 +39,17 @@ type Cell struct {
 	Fault string
 	// Replicate enables buddy replication of dense arrays.
 	Replicate bool
+	// RMA routes the data movers through one-sided windows: redistribution
+	// commits run in RedistRMA mode and replica refreshes (when Replicate
+	// is set) use the deferred-epoch one-sided path (core.Config.ReplicaRMA).
+	RMA bool
 }
 
 // Key renders the cell as a stable, human-greppable identifier, e.g.
-// "jacobi/r4/gp3/ov0/fnone/rep0".
+// "jacobi/r4/gp3/ov0/fnone/rep0/rma0".
 func (c Cell) Key() string {
-	return fmt.Sprintf("%s/r%d/gp%d/ov%s/f%s/rep%s",
-		c.Scenario, c.Ranks, c.GP, bit(c.Overlap), c.Fault, bit(c.Replicate))
+	return fmt.Sprintf("%s/r%d/gp%d/ov%s/f%s/rep%s/rma%s",
+		c.Scenario, c.Ranks, c.GP, bit(c.Overlap), c.Fault, bit(c.Replicate), bit(c.RMA))
 }
 
 func bit(b bool) string {
@@ -58,13 +63,14 @@ func bit(b bool) string {
 // plus the shared workload knobs every cell runs under.
 type Grid struct {
 	// Axes. The cross product of these, in this nesting order (scenario
-	// outermost, replication innermost), is the cell list.
+	// outermost, one-sided mode innermost), is the cell list.
 	Scenarios []string
 	Ranks     []int
 	GPs       []int
 	Overlaps  []bool
 	Faults    []string
 	Reps      []bool
+	RMAs      []bool
 
 	// Workload knobs shared by all cells.
 	Rows, Cols  int     // grid size (jacobi/sor/particles); cg uses Rows*Cols/Scale
@@ -77,19 +83,21 @@ type Grid struct {
 	RingCap     int     // per-world telemetry ring capacity
 }
 
-// Smoke returns the CI-sized grid: 2 scenarios × 2 world sizes × 2 grace
-// periods × overlap on/off × fault none/crash × replication on/off =
-// 64 cells, each a few dozen phase cycles, small enough to sweep in
-// seconds yet exercising every adaptation path (CP arrival with
-// unconditional drop, crash recovery with and without replicas).
+// Smoke returns the CI-sized grid: 2 scenarios × 2 world sizes × overlap
+// on/off × fault none/crash × replication on/off × one-sided commits
+// on/off = 64 cells, each a few dozen phase cycles, small enough to sweep
+// in seconds yet exercising every adaptation path (CP arrival with
+// unconditional drop, crash recovery with and without replicas, and both
+// the two-sided and one-sided data movers).
 func Smoke() Grid {
 	return Grid{
 		Scenarios: []string{"jacobi", "sor"},
 		Ranks:     []int{4, 8},
-		GPs:       []int{3, 5},
+		GPs:       []int{3},
 		Overlaps:  []bool{false, true},
 		Faults:    []string{"none", "crash"},
 		Reps:      []bool{false, true},
+		RMAs:      []bool{false, true},
 
 		// CostPerElem is high enough that the competing process visibly
 		// degrades its node on a 96x96 grid, so the drop path actually
@@ -111,11 +119,13 @@ func (g *Grid) Cells() []Cell {
 				for _, ov := range g.Overlaps {
 					for _, f := range g.Faults {
 						for _, rep := range g.Reps {
-							cells = append(cells, Cell{
-								Index:    len(cells),
-								Scenario: scen, Ranks: ranks, GP: gp,
-								Overlap: ov, Fault: f, Replicate: rep,
-							})
+							for _, rma := range g.RMAs {
+								cells = append(cells, Cell{
+									Index:    len(cells),
+									Scenario: scen, Ranks: ranks, GP: gp,
+									Overlap: ov, Fault: f, Replicate: rep, RMA: rma,
+								})
+							}
 						}
 					}
 				}
@@ -130,8 +140,9 @@ func (g *Grid) Cells() []Cell {
 // after the run ends.
 func (g *Grid) Validate() error {
 	if len(g.Scenarios) == 0 || len(g.Ranks) == 0 || len(g.GPs) == 0 ||
-		len(g.Overlaps) == 0 || len(g.Faults) == 0 || len(g.Reps) == 0 {
-		return fmt.Errorf("sweep: empty axis (need scen/ranks/gp/overlap/fault/rep)")
+		len(g.Overlaps) == 0 || len(g.Faults) == 0 || len(g.Reps) == 0 ||
+		len(g.RMAs) == 0 {
+		return fmt.Errorf("sweep: empty axis (need scen/ranks/gp/overlap/fault/rep/rma)")
 	}
 	minRanks := g.Ranks[0]
 	for _, r := range g.Ranks {
@@ -182,7 +193,7 @@ func (g *Grid) Validate() error {
 // semicolon-separated list of key=value(,value...) entries; axis keys take
 // comma-separated lists, workload keys take a single value:
 //
-//	scen=jacobi,sor;ranks=4,8;gp=3,5;overlap=0,1;fault=none,crash;rep=0,1
+//	scen=jacobi,sor;ranks=4,8;gp=3,5;overlap=0,1;fault=none,crash;rep=0,1;rma=0,1
 //	rows=96;cols=96;iters=30;cost=10000;cpnode=1;cpcycle=10;crashnode=2;crashcycle=12
 //
 // Unknown keys are an error; unmentioned keys keep their current values.
@@ -211,6 +222,8 @@ func (g *Grid) ParseSpec(spec string) error {
 			g.Faults = splitList(val)
 		case "rep":
 			g.Reps, err = boolList(val)
+		case "rma":
+			g.RMAs, err = boolList(val)
 		case "rows":
 			g.Rows, err = strconv.Atoi(val)
 		case "cols":

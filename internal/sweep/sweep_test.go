@@ -2,7 +2,9 @@ package sweep
 
 import (
 	"bytes"
+	"encoding/json"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
@@ -178,7 +180,7 @@ func TestSmokeGridCoversAxes(t *testing.T) {
 		t.Fatalf("smoke grid invalid: %v", err)
 	}
 	cells := g.Cells()
-	want := len(g.Scenarios) * len(g.Ranks) * len(g.GPs) * len(g.Overlaps) * len(g.Faults) * len(g.Reps)
+	want := len(g.Scenarios) * len(g.Ranks) * len(g.GPs) * len(g.Overlaps) * len(g.Faults) * len(g.Reps) * len(g.RMAs)
 	if len(cells) != want {
 		t.Fatalf("got %d cells, want %d", len(cells), want)
 	}
@@ -197,9 +199,44 @@ func TestSmokeGridCoversAxes(t *testing.T) {
 	}
 }
 
+// TestStreamedCellsMatchReport pins the -stream contract: rows delivered
+// through OnCell, re-sorted into enumeration order, encode byte-identically
+// to the batch WriteJSONL report, and every cell is delivered exactly once.
+func TestStreamedCellsMatchReport(t *testing.T) {
+	g := Smoke()
+	if err := g.ParseSpec("scen=jacobi;ranks=4;overlap=0;iters=16"); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var streamed []CellResult
+	r, err := Run(Options{Grid: g, Jobs: 4, OnCell: func(cr CellResult) {
+		streamed = append(streamed, cr)
+	}})
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(streamed) != len(r.Cells) {
+		t.Fatalf("OnCell delivered %d cells, want %d", len(streamed), len(r.Cells))
+	}
+	sort.Slice(streamed, func(i, j int) bool { return streamed[i].Cell.Index < streamed[j].Cell.Index })
+	var live bytes.Buffer
+	enc := json.NewEncoder(&live)
+	for i := range streamed {
+		if err := enc.Encode(&streamed[i]); err != nil {
+			t.Fatalf("encode streamed cell: %v", err)
+		}
+	}
+	var batch bytes.Buffer
+	if err := r.WriteJSONL(&batch); err != nil {
+		t.Fatalf("batch report: %v", err)
+	}
+	if !bytes.Equal(live.Bytes(), batch.Bytes()) {
+		t.Error("re-sorted streamed rows differ from the batch JSONL report")
+	}
+}
+
 func TestParseSpec(t *testing.T) {
 	g := Smoke()
-	err := g.ParseSpec("scen=jacobi;ranks=4;gp=7;overlap=1;fault=none;rep=0;rows=64;cols=48;iters=20;cost=500")
+	err := g.ParseSpec("scen=jacobi;ranks=4;gp=7;overlap=1;fault=none;rep=0;rma=1;rows=64;cols=48;iters=20;cost=500")
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -207,7 +244,7 @@ func TestParseSpec(t *testing.T) {
 		t.Fatalf("want 1 cell, got %d", len(g.Cells()))
 	}
 	c := g.Cells()[0]
-	if c.Scenario != "jacobi" || c.Ranks != 4 || c.GP != 7 || !c.Overlap || c.Fault != "none" || c.Replicate {
+	if c.Scenario != "jacobi" || c.Ranks != 4 || c.GP != 7 || !c.Overlap || c.Fault != "none" || c.Replicate || !c.RMA {
 		t.Errorf("unexpected cell %+v", c)
 	}
 	if g.Rows != 64 || g.Cols != 48 || g.Iters != 20 || g.CostPerElem != 500 {

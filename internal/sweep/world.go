@@ -51,6 +51,10 @@ func startWorld(g *Grid, c Cell) *worldRun {
 	base.Drop = core.DropAlways
 	base.GracePeriod = c.GP
 	base.Replicate = c.Replicate
+	if c.RMA {
+		base.RedistMode = core.RedistRMA
+		base.ReplicaRMA = true
+	}
 	base.Telemetry = ring
 	base.Pacer = gate
 

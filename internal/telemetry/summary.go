@@ -29,6 +29,13 @@ type Summary struct {
 	Memberships []MembershipRecord // in trace order
 	LoadEvents  []LoadEventRecord  // in trace order
 	Failures    []FailureRecord    // in trace order
+
+	// One-sided (RMA) aggregates, zero when the run used no windows.
+	RMAFences   int
+	RMADeposits int
+	RMABytes    int64
+	RMAStallS   float64
+	RMAHiddenS  float64
 }
 
 // Summarize aggregates a record stream.
@@ -62,6 +69,12 @@ func Summarize(recs []Record) *Summary {
 			s.LoadEvents = append(s.LoadEvents, v)
 		case FailureRecord:
 			s.Failures = append(s.Failures, v)
+		case RMARecord:
+			s.RMAFences++
+			s.RMADeposits += v.Deposits
+			s.RMABytes += v.Bytes
+			s.RMAStallS += v.StallS
+			s.RMAHiddenS += v.HiddenS
 		}
 	}
 	for _, ns := range byNode {
@@ -98,6 +111,10 @@ func (s *Summary) WriteTable(w io.Writer) {
 		if hidden > 0 {
 			fmt.Fprintf(w, "  hidden wire: %.4fs overlapped behind computation across all nodes\n", hidden)
 		}
+	}
+	if s.RMAFences > 0 {
+		fmt.Fprintf(w, "  rma: %d fences settled %d deposits (%d bytes); stall %.4fs, hidden %.4fs\n",
+			s.RMAFences, s.RMADeposits, s.RMABytes, s.RMAStallS, s.RMAHiddenS)
 	}
 	for _, m := range s.Memberships {
 		fmt.Fprintf(w, "  membership: cycle %d node %d %s active=%v removed=%v\n",

@@ -32,6 +32,7 @@ const (
 	KindLoadEvent  = "load-event"
 	KindFailure    = "failure"
 	KindCollective = "collective"
+	KindRMA        = "rma"
 )
 
 // Record is one structured telemetry event.
@@ -181,6 +182,24 @@ type CollectiveRecord struct {
 	Steps     int    `json:"steps"`     // modelled tree depth ceil(log2 ranks)
 	Count     int64  `json:"count"`     // completed operations
 	Bytes     int64  `json:"bytes"`     // payload bytes offered across members and ops
+}
+
+// RMARecord describes one closed one-sided epoch from the window owner's
+// perspective: the fence that closed it, how many deposits landed in the
+// owner's window during the epoch, their total wire bytes, the residual
+// wire stall the owner paid at the fence, and the wire time that was hidden
+// behind the owner's computation since the deposits were posted. Only
+// emitted for epochs (successful fences), never per Put — the origin side
+// of a Put is indistinguishable from a send and is already counted by the
+// traffic counters.
+type RMARecord struct {
+	Base
+	Op       string  `json:"op"`       // "fence"
+	Window   int     `json:"window"`   // window id within its group
+	Deposits int     `json:"deposits"` // puts/gets settled by this fence
+	Bytes    int64   `json:"bytes"`    // wire bytes of those deposits
+	StallS   float64 `json:"stall_s"`  // residual wire stall paid at the fence
+	HiddenS  float64 `json:"hidden_s"` // wire time hidden behind computation
 }
 
 // Sort orders records by (virtual time, node, per-node sequence), the
