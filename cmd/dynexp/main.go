@@ -14,6 +14,7 @@
 //	dynexp scale       — large-world collective soak (64/256/1024 ranks)
 //	dynexp overlap     — nonblocking halo overlap and redistribution stall study
 //	dynexp rma         — one-sided (RMA) replica refresh vs paired send/recv
+//	dynexp resize      — elastic world resizing vs drop-all+restart
 //	dynexp sweep       — multi-world parameter sweep under one shared scheduler
 //	dynexp all         — everything above (except trace, scale and sweep)
 //
@@ -69,7 +70,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] [-fault specs] [-replicate] [-replica-every n] [-scale-n n] [-smoke] [-grid spec] [-jobs n] [-out f.jsonl] [-stream] [-cpuprofile f] [-memprofile f] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|scale|overlap|rma|sweep|all}\n")
+	fmt.Fprintf(os.Stderr, "usage: dynexp [-paper] [-nodes n,n,...] [-trace out.jsonl] [-summary] [-fault specs] [-replicate] [-replica-every n] [-scale-n n] [-smoke] [-grid spec] [-jobs n] [-out f.jsonl] [-stream] [-cpuprofile f] [-memprofile f] {fig4|cg-table|fig5|fig6|fig7|alloc|microbench|virt|trace|scale|overlap|rma|resize|sweep|all}\n")
 	os.Exit(2)
 }
 
@@ -246,6 +247,14 @@ func main() {
 			r.Table().Render(os.Stdout)
 			fmt.Printf("  one-sided refresh cuts holder-side replica stall by ≥%.0f%% across world sizes\n",
 				r.MinReduction()*100)
+		case "resize":
+			r, err := exp.RunResize(exp.DefaultResizeOptions())
+			if err != nil {
+				return err
+			}
+			r.Table().Render(os.Stdout)
+			fmt.Printf("  elastic resize beats drop-all+restart on %d of %d scenarios\n",
+				r.CheaperCount(), len(r.Rows))
 		case "trace":
 			o := exp.DefaultTraceOptions()
 			if *faultSpecs != "" {
@@ -365,7 +374,7 @@ func main() {
 	target := flag.Arg(0)
 	var names []string
 	if target == "all" {
-		names = []string{"fig4", "cg-table", "fig5", "fig6", "fig7", "alloc", "microbench", "virt", "overlap", "rma"}
+		names = []string{"fig4", "cg-table", "fig5", "fig6", "fig7", "alloc", "microbench", "virt", "overlap", "rma", "resize"}
 	} else {
 		names = []string{target}
 	}

@@ -151,7 +151,7 @@ func Run(cl *cluster.Cluster, cfg Config) (apps.Result, error) {
 	if err != nil {
 		return apps.Result{}, err
 	}
-	return col.Result(cl.N()), nil
+	return col.Result(cl.MaxN()), nil
 }
 
 func dot(a, b []float64) float64 {

@@ -36,6 +36,13 @@ type Config struct {
 	// buffer regardless of order). Off by default so existing pinned
 	// timings and golden traces stay byte-identical.
 	Overlap bool
+	// ResizeTo, when positive, requests an elastic resize of the active set
+	// to that many ranks at the start of iteration ResizeAt (every active
+	// rank calls core.Runtime.Resize there). Growth claims the cluster's
+	// reserve arrival capacity; shrinkage releases the highest active ranks.
+	ResizeTo int
+	// ResizeAt is the iteration at which ResizeTo is requested.
+	ResizeAt int
 	// Core configures the Dyn-MPI runtime.
 	Core core.Config
 	// CycleHook, if set, is called after every phase cycle with the rank,
@@ -66,18 +73,32 @@ func Run(cl *cluster.Cluster, cfg Config) (apps.Result, error) {
 			ph.AddAccess(name, drsd.Read, 1, +1)
 		}
 		rt.Commit()
-		init := func(g, j int) float64 {
-			// Fixed hot boundary, cold interior.
-			if g == 0 || g == cfg.Rows-1 || j == 0 || j == cfg.Cols-1 {
-				return float64((g*31+j*17)%100) / 10
+		start := 0
+		if rt.Joined() {
+			// A mid-run joiner: its rows (current values included) arrived in
+			// the admission redistribution Commit just ran, so the initial
+			// fill must not overwrite them, and the cycle loop starts at the
+			// cycle the world is on.
+			start = rt.Cycle()
+		} else {
+			init := func(g, j int) float64 {
+				// Fixed hot boundary, cold interior.
+				if g == 0 || g == cfg.Rows-1 || j == 0 || j == cfg.Cols-1 {
+					return float64((g*31+j*17)%100) / 10
+				}
+				return 0
 			}
-			return 0
+			a.Fill(init)
+			b.Fill(init)
 		}
-		a.Fill(init)
-		b.Fill(init)
 
 		rowCost := vclock.Duration(float64(cfg.Cols) * cfg.CostPerElem)
 		src, dst := b, a
+		if start%2 == 1 {
+			// At the start of iteration t the source buffer is b for even t;
+			// align the joiner's ping-pong parity with the world's.
+			src, dst = dst, src
+		}
 		// computeRow produces dst row g from the src buffer. Rows only read
 		// src (and the ghosts stored into it last cycle), so computation
 		// order within a cycle is free — the overlapped path exploits that
@@ -97,7 +118,10 @@ func Run(cl *cluster.Cluster, cfg Config) (apps.Result, error) {
 		}
 		rowOf := func(g int) []float64 { return dst.Row(g) }
 		storeGhost := func(g int, row []float64) { copy(dst.Row(g), row) }
-		for t := 0; t < cfg.Iters; t++ {
+		for t := start; t < cfg.Iters; t++ {
+			if cfg.ResizeTo > 0 && t == cfg.ResizeAt && rt.Participating() {
+				rt.Resize(cfg.ResizeTo)
+			}
 			if rt.BeginCycle() {
 				lo, hi := ph.Bounds()
 				if cfg.Overlap {
@@ -148,5 +172,5 @@ func Run(cl *cluster.Cluster, cfg Config) (apps.Result, error) {
 	if err != nil {
 		return apps.Result{}, err
 	}
-	return col.Result(cl.N()), nil
+	return col.Result(cl.MaxN()), nil
 }

@@ -110,7 +110,7 @@ func Run(cl *cluster.Cluster, cfg Config) (apps.Result, error) {
 	if err != nil {
 		return apps.Result{}, err
 	}
-	return col.Result(cl.N()), nil
+	return col.Result(cl.MaxN()), nil
 }
 
 // seedParticles populates this rank's initially owned rows. Particle

@@ -35,6 +35,11 @@ type Config struct {
 	// exchange finishes before it starts. Off by default so pinned timings
 	// stay byte-identical.
 	Overlap bool
+	// ResizeTo, when positive, requests an elastic resize of the active set
+	// to that many ranks at the start of iteration ResizeAt.
+	ResizeTo int
+	// ResizeAt is the iteration at which ResizeTo is requested.
+	ResizeAt int
 	// Core configures the Dyn-MPI runtime.
 	Core core.Config
 }
@@ -60,12 +65,20 @@ func Run(cl *cluster.Cluster, cfg Config) (apps.Result, error) {
 		ph.AddAccess("U", drsd.Read, 1, -1)
 		ph.AddAccess("U", drsd.Read, 1, +1)
 		rt.Commit()
-		u.Fill(func(g, j int) float64 {
-			if g == 0 || g == cfg.Rows-1 || j == 0 || j == cfg.Cols-1 {
-				return float64((g*13+j*7)%100) / 10
-			}
-			return 0
-		})
+		start := 0
+		if rt.Joined() {
+			// A mid-run joiner's rows arrived in the admission redistribution
+			// Commit just ran; start at the world's current cycle and do not
+			// overwrite them with the initial fill.
+			start = rt.Cycle()
+		} else {
+			u.Fill(func(g, j int) float64 {
+				if g == 0 || g == cfg.Rows-1 || j == 0 || j == cfg.Cols-1 {
+					return float64((g*13+j*7)%100) / 10
+				}
+				return 0
+			})
+		}
 
 		// Each half-phase touches half the points of each row.
 		halfRowCost := vclock.Duration(float64(cfg.Cols) * cfg.CostPerElem / 2)
@@ -82,7 +95,10 @@ func Run(cl *cluster.Cluster, cfg Config) (apps.Result, error) {
 		}
 		rowOf := func(g int) []float64 { return u.Row(g) }
 		storeGhost := func(g int, row []float64) { copy(u.Row(g), row) }
-		for t := 0; t < cfg.Iters; t++ {
+		for t := start; t < cfg.Iters; t++ {
+			if cfg.ResizeTo > 0 && t == cfg.ResizeAt && rt.Participating() {
+				rt.Resize(cfg.ResizeTo)
+			}
 			if rt.BeginCycle() {
 				lo, hi := ph.Bounds()
 				if cfg.Overlap {
@@ -144,5 +160,5 @@ func Run(cl *cluster.Cluster, cfg Config) (apps.Result, error) {
 	if err != nil {
 		return apps.Result{}, err
 	}
-	return col.Result(cl.N()), nil
+	return col.Result(cl.MaxN()), nil
 }

@@ -86,14 +86,27 @@ type Event struct {
 	AtCycle int         // cycle-triggered when >= 0
 }
 
+// Arrival describes a node that is not part of the seed world but whose
+// capacity can join mid-run (elastic resizing). Arrival nodes are built up
+// front — their clocks, PRNG streams and fault state exist from the start,
+// which keeps grown runs deterministic — but no rank runs on them until the
+// runtime spawns one. AtCycle >= 0 grows the world automatically when the
+// active ranks reach that phase cycle; AtCycle < 0 marks reserve capacity
+// claimed only by an explicit Runtime.Resize call.
+type Arrival struct {
+	Node    NodeSpec
+	AtCycle int
+}
+
 // Spec is the full description of a simulated cluster run.
 type Spec struct {
-	Nodes   []NodeSpec
-	Events  []Event
-	Faults  []fault.Fault // injected faults (crash/stall/drop/delay); empty = none
-	Net     NetParams
-	Quantum vclock.Duration // scheduler timeslice; 0 means 10ms
-	Seed    uint64          // master seed for all derived PRNGs
+	Nodes    []NodeSpec
+	Arrivals []Arrival // capacity that can join mid-run; empty = fixed world
+	Events   []Event
+	Faults   []fault.Fault // injected faults (crash/stall/drop/delay); empty = none
+	Net      NetParams
+	Quantum  vclock.Duration // scheduler timeslice; 0 means 10ms
+	Seed     uint64          // master seed for all derived PRNGs
 }
 
 // Uniform returns a Spec with n identical nodes of power 1.0, default
@@ -124,6 +137,15 @@ func (s Spec) With(events ...Event) Spec {
 	return out
 }
 
+// WithArrival returns a copy of s with one arrival node of the given power
+// appended (joining at atCycle; negative = reserve capacity).
+func (s Spec) WithArrival(power float64, atCycle int) Spec {
+	out := s
+	out.Arrivals = append(append([]Arrival(nil), s.Arrivals...),
+		Arrival{Node: NodeSpec{Power: power}, AtCycle: atCycle})
+	return out
+}
+
 // segment is one piece of a node's piecewise-constant CP timeline.
 type segment struct {
 	start vclock.Time
@@ -138,7 +160,8 @@ type segment struct {
 type Cluster struct {
 	spec    Spec
 	quantum vclock.Duration
-	nodes   []*Node
+	seed    int        // number of seed nodes; nodes[seed:] are arrivals
+	nodes   []*Node    // seed nodes followed by arrival nodes
 	faults  *fault.Set // nil when the scenario injects no faults
 
 	// rankExit, when set, is called by the mpi run harness as each rank
@@ -162,15 +185,23 @@ func New(spec Spec) *Cluster {
 	if spec.Net.BytesPerSec == 0 {
 		spec.Net = DefaultNet()
 	}
-	c := &Cluster{spec: spec, quantum: q}
-	fs, err := fault.NewSet(len(spec.Nodes), spec.Faults)
+	c := &Cluster{spec: spec, quantum: q, seed: len(spec.Nodes)}
+	all := spec.Nodes
+	if len(spec.Arrivals) > 0 {
+		all = make([]NodeSpec, 0, len(spec.Nodes)+len(spec.Arrivals))
+		all = append(all, spec.Nodes...)
+		for _, a := range spec.Arrivals {
+			all = append(all, a.Node)
+		}
+	}
+	fs, err := fault.NewSet(len(all), spec.Faults)
 	if err != nil {
 		panic(fmt.Sprintf("cluster: %v", err))
 	}
 	c.faults = fs
 	master := vclock.NewPRNG(spec.Seed)
-	c.nodes = make([]*Node, len(spec.Nodes))
-	for i, ns := range spec.Nodes {
+	c.nodes = make([]*Node, len(all))
+	for i, ns := range all {
 		if ns.Power <= 0 {
 			panic(fmt.Sprintf("cluster: node %d has non-positive power %v", i, ns.Power))
 		}
@@ -202,8 +233,42 @@ func New(spec Spec) *Cluster {
 	return c
 }
 
-// N reports the number of nodes.
-func (c *Cluster) N() int { return len(c.nodes) }
+// N reports the number of seed nodes — the world size a run starts with.
+func (c *Cluster) N() int { return c.seed }
+
+// MaxN reports the total node count including arrival capacity; it bounds
+// the rank IDs a grown world can reach. Equal to N when no arrivals exist.
+func (c *Cluster) MaxN() int { return len(c.nodes) }
+
+// ArrivalsAt returns the node IDs of arrivals scheduled to join at the
+// given phase cycle, in node order. The runtime's resize step consults it
+// at every cycle boundary; every active rank reads the same static table,
+// which is what makes automatic growth deterministic.
+func (c *Cluster) ArrivalsAt(cycle int) []int {
+	var out []int
+	for i, a := range c.spec.Arrivals {
+		if a.AtCycle == cycle {
+			out = append(out, c.seed+i)
+		}
+	}
+	return out
+}
+
+// HasArrivals reports whether any arrival capacity exists (scheduled or
+// reserve), letting hot paths skip the per-cycle table scan entirely.
+func (c *Cluster) HasArrivals() bool { return len(c.spec.Arrivals) > 0 }
+
+// Reserves returns the node IDs of reserve arrivals (AtCycle < 0) in node
+// order — the capacity an explicit Runtime.Resize grow claims.
+func (c *Cluster) Reserves() []int {
+	var out []int
+	for i, a := range c.spec.Arrivals {
+		if a.AtCycle < 0 {
+			out = append(out, c.seed+i)
+		}
+	}
+	return out
+}
 
 // Node returns the handle for node id.
 func (c *Cluster) Node(id int) *Node { return c.nodes[id] }

@@ -17,7 +17,7 @@ import (
 // redistribution, and the drop decision. It reports whether this rank
 // participates in the cycle.
 func (rt *Runtime) BeginCycle() bool {
-	if rt.cfg.Pacer != nil {
+	if rt.cfg.Pacer != nil && !rt.skipPaceOnce {
 		// Park before anything of the cycle happens — scenario events,
 		// fault injection, adaptation — so a stepping controller observes
 		// the world exactly at cycle boundaries.
@@ -31,6 +31,17 @@ func (rt *Runtime) BeginCycle() bool {
 		return !rt.isOut // true exactly when this node just rejoined
 	}
 	rt.beginCycleTelemetry()
+	if rt.skipPaceOnce || rt.skipAdaptOnce {
+		// A joiner's first BeginCycle: the wave it joined was already
+		// released, and the actives ran this cycle's adaptation step before
+		// admitting it — parking would wedge the wave, and entering the load
+		// exchange would wait on a collective nobody else runs. Run the
+		// cycle body directly; normal pacing and adaptation resume next
+		// cycle.
+		rt.skipPaceOnce = false
+		rt.skipAdaptOnce = false
+		return true
+	}
 	if !rt.cfg.Adapt {
 		return true
 	}
@@ -78,6 +89,11 @@ func (rt *Runtime) BeginCycle() bool {
 		// Membership changed this cycle; the state machine resumes on the
 		// fresh baseline next cycle.
 		return true
+	}
+	if rt.maybeResize(loads) {
+		// Elastic resize (capacity arrival or explicit Resize target): the
+		// membership and distribution changed; resume on the fresh baseline.
+		return !rt.isOut
 	}
 
 	switch rt.state {

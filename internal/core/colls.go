@@ -30,6 +30,11 @@ func (rt *Runtime) sendOut(v []float64) {
 		return
 	}
 	for _, r := range rt.removed {
+		// Deterministic dead guard (see knownDead): never ship global
+		// results to a corpse's mailbox.
+		if rt.knownDead(r) {
+			continue
+		}
 		rt.comm.Send(r, tagGlobal, v, mpi.F64Bytes(len(v)))
 	}
 }
@@ -181,6 +186,9 @@ func (rt *Runtime) Finalize() {
 	rt.Barrier()
 	if rt.comm.Rank() == rt.sendOutRoot() {
 		for _, r := range rt.removed {
+			if rt.knownDead(r) {
+				continue
+			}
 			rt.comm.Send(r, tagDone, nil, 0)
 		}
 	}

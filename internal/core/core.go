@@ -70,6 +70,7 @@ const (
 	tagPing       = tagBase + 514
 	tagLoadReply  = tagBase + 515
 	tagRejoin     = tagBase + 516
+	tagBootstrap  = tagBase + 517  // joiner bootstrap packet (resize.go)
 	tagReplica    = tagBase + 1024 // + array registration index (buddy-replica refresh)
 	tagRecover    = tagBase + 1536 // + array registration index (failure recovery)
 	tagRedistSync = tagBase + 2048 // + array registration index (RMA commit marker sync)
@@ -217,6 +218,7 @@ const (
 	EvRemoved
 	EvRejoin
 	EvFailure
+	EvResize
 )
 
 // String names the event kind.
@@ -238,6 +240,8 @@ func (k EventKind) String() string {
 		return "rejoin"
 	case EvFailure:
 		return "failure"
+	case EvResize:
+		return "resize"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -296,6 +300,15 @@ type Runtime struct {
 	graceStart   vclock.Time
 
 	events []Event
+
+	// Resize state (resize.go).
+	joined        bool  // this rank spawned mid-run; membership arrives in the bootstrap packet
+	skipPaceOnce  bool  // joiner's first BeginCycle: the wave it joins was already released
+	skipAdaptOnce bool  // joiner's first BeginCycle: actives already ran this cycle's adapt step
+	pendingResize int   // explicit Resize target (0 = none), consumed at the next cycle boundary
+	hasArrivals   bool  // the cluster declares arrival capacity (cached)
+	claimed       []int // arrival ranks claimed so far, in claim order (identical on every rank)
+	resizedOut    []int // ranks removed by explicit shrink; excluded from automatic rejoin
 
 	// Failure state (failure.go).
 	pendingDead   []int               // dead ranks detected, recovery not yet run
@@ -365,6 +378,16 @@ func New(comm *mpi.Comm, cfg Config) *Runtime {
 		active:  active,
 		group:   comm.World().AllGroup(),
 		monitor: loadmon.New(comm.Node()),
+	}
+	rt.hasArrivals = comm.World().Cluster().HasArrivals()
+	if comm.Spawned() {
+		// A joiner: the true membership, cycle and distribution arrive in
+		// the bootstrap packet when the application commits (resize.go).
+		rt.joined = true
+		rt.skipPaceOnce = true
+		rt.skipAdaptOnce = true
+		rt.active = nil
+		rt.group = nil
 	}
 	if cfg.Telemetry != nil {
 		rt.sink = cfg.Telemetry
@@ -468,6 +491,16 @@ func (ph *Phase) Bounds() (lo, hi int) {
 // Participating reports whether this rank is part of the computation
 // (DMPI_participating). It is false after physical removal.
 func (rt *Runtime) Participating() bool { return !rt.isOut }
+
+// Joined reports whether this rank spawned mid-run (elastic growth). A
+// joined rank's application must start its cycle loop at Cycle() instead of
+// zero and skip its initial array fill — the bootstrap redistribution
+// already shipped it current data (resize.go).
+func (rt *Runtime) Joined() bool { return rt.joined }
+
+// Cycle reports the phase cycle the next BeginCycle will open. Joiners read
+// it after Commit to find the cycle the world is at.
+func (rt *Runtime) Cycle() int { return rt.cycle }
 
 // RelRank returns this rank's relative rank among active nodes
 // (DMPI_get_rel_rank), or -1 if removed.
@@ -621,6 +654,10 @@ func (rt *Runtime) ensureCommitted() {
 		panic("core: no phase declared")
 	}
 	rt.committed = true
+	if rt.joined {
+		rt.bootstrap()
+		return
+	}
 	rt.dist = drsd.EqualBlock(rt.active, rt.n)
 	for _, name := range rt.order {
 		a := rt.arrays[name]

@@ -214,7 +214,12 @@ func (rt *Runtime) recoverDistribution(newDist *drsd.Block, dead []int) {
 	olo, ohi := rt.dist.RangeOf(me)
 	for _, name := range rt.order {
 		a := rt.arrays[name]
-		rt.schedBuf = drsd.ScheduleWindowsInto(rt.schedBuf[:0], rt.dist, newDist, a.accesses)
+		// Same owned-only diff-schedule fast path as applyDistribution.
+		if drsd.OwnedOnly(a.accesses) {
+			rt.schedBuf = drsd.ScheduleDiffInto(rt.schedBuf[:0], rt.dist, newDist)
+		} else {
+			rt.schedBuf = drsd.ScheduleWindowsInto(rt.schedBuf[:0], rt.dist, newDist, a.accesses)
+		}
 		sched := rt.schedBuf
 		tag := tagRecover + a.index
 

@@ -170,7 +170,17 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 
 	for _, name := range rt.order {
 		a := rt.arrays[name]
-		rt.schedBuf = drsd.ScheduleWindowsInto(rt.schedBuf[:0], rt.dist, newDist, a.accesses)
+		// Owned-only arrays take the resize-aware diff schedule: it emits
+		// exactly the owner-changed contiguous windows ScheduleWindowsInto
+		// would (byte-identical transfers, same order — gap coverage of an
+		// ownership range degenerates to the ownership delta when no ghost
+		// access widens the window), computed per-rank from the two block
+		// boundaries instead of walking every access pattern.
+		if drsd.OwnedOnly(a.accesses) {
+			rt.schedBuf = drsd.ScheduleDiffInto(rt.schedBuf[:0], rt.dist, newDist)
+		} else {
+			rt.schedBuf = drsd.ScheduleWindowsInto(rt.schedBuf[:0], rt.dist, newDist, a.accesses)
+		}
 		sched := rt.schedBuf
 		tag := tagRedist + a.index
 

@@ -55,14 +55,35 @@ type loadMsg struct {
 	RemovedLoads []int
 }
 
+// knownDead reports whether rank r is in the deterministically-absorbed
+// dead set. Protocol sends are guarded on this — never on the wall-clock
+// mpi.World.Alive — because a cycle-triggered crash fires in the victim's
+// own goroutine, physically concurrent with the root's poll: an Alive
+// guard would make the root's send charge (and so its virtual clock)
+// depend on goroutine scheduling. The absorbed set advances only at cycle
+// boundaries, identically on every rank and every run. Since adapt.go
+// prunes crashed removed nodes from rt.removed the same cycle they are
+// detected, these guards never fire after that prune; they are the
+// deterministic belt for the detection window itself.
+func (rt *Runtime) knownDead(r int) bool {
+	return containsInt(rt.deadRanks, r) || containsInt(rt.pendingDead, r)
+}
+
 // pollRemoved runs the root's ping/reply round with every removed node and
 // returns their current loads (aligned with rt.removed).
 func (rt *Runtime) pollRemoved() []int {
 	loads := make([]int, len(rt.removed))
 	for _, r := range rt.removed {
+		if rt.knownDead(r) {
+			continue
+		}
 		rt.comm.Send(r, tagPing, nil, 1)
 	}
 	for i, r := range rt.removed {
+		if rt.knownDead(r) {
+			loads[i] = -1
+			continue
+		}
 		p, _, err := rt.comm.RecvErr(r, tagLoadReply)
 		if err != nil {
 			// Crashed removed node: the -1 sentinel travels through the
@@ -146,12 +167,12 @@ func (rt *Runtime) maybeRejoin(activeLoads, removedRanks, removedLoads []int) bo
 		return false
 	}
 	var rejoining []int
-	stayLoads := map[int]int{}
 	for i, r := range removedRanks {
-		if removedLoads[i] == 0 {
+		// Ranks an explicit Resize shrank out stay removed even when
+		// unloaded: re-admitting released capacity the next cycle would
+		// flap the membership straight back.
+		if removedLoads[i] == 0 && !containsInt(rt.resizedOut, r) {
 			rejoining = append(rejoining, r)
-		} else {
-			stayLoads[r] = removedLoads[i]
 		}
 	}
 	isRoot := rt.comm.Rank() == rt.sendOutRoot()
@@ -159,6 +180,9 @@ func (rt *Runtime) maybeRejoin(activeLoads, removedRanks, removedLoads []int) bo
 		if isRoot {
 			empty := rejoinPacket{}
 			for _, r := range rt.removed {
+				if rt.knownDead(r) {
+					continue
+				}
 				rt.comm.Send(r, tagRejoin, empty, empty.wireBytes())
 			}
 		}
@@ -218,6 +242,9 @@ func (rt *Runtime) maybeRejoin(activeLoads, removedRanks, removedLoads []int) bo
 	}
 	if isRoot {
 		for _, r := range rt.removed {
+			if rt.knownDead(r) {
+				continue
+			}
 			rt.comm.Send(r, tagRejoin, pkt, pkt.wireBytes())
 		}
 	}

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/drsd"
+	"repro/internal/fault"
+	"repro/internal/mpi"
+)
+
+// runElastic executes the runMini workload on a cluster that may have
+// arrival capacity, with an optional explicit Resize request at iteration
+// resizeAt. Joiners spawned mid-run enter the loop at the world's cycle and
+// skip the initial fill (their rows arrive in the admission
+// redistribution), exactly as a real application must.
+func runElastic(t *testing.T, spec cluster.Spec, cfg Config, n, cycles, resizeAt, resizeTo int) map[int]*miniResult {
+	t.Helper()
+	var mu sync.Mutex
+	results := map[int]*miniResult{}
+	err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+		rt := New(c, cfg)
+		x := rt.RegisterDense("X", n, 4)
+		ph := rt.InitPhase(n)
+		ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+		rt.Commit()
+		start := 0
+		if rt.Joined() {
+			start = rt.Cycle()
+		} else {
+			x.Fill(func(g, j int) float64 { return float64(g * 10) })
+		}
+
+		res := &miniResult{rank: c.Rank()}
+		for tstep := start; tstep < cycles; tstep++ {
+			if resizeTo > 0 && tstep == resizeAt && rt.Participating() {
+				rt.Resize(resizeTo)
+			}
+			if rt.BeginCycle() {
+				lo, hi := ph.Bounds()
+				for g := lo; g < hi; g++ {
+					row := x.Row(g)
+					for j := range row {
+						row[j]++
+					}
+					rt.ComputeIter(g, iterCost)
+				}
+			}
+			rt.EndCycle()
+		}
+		rt.Finalize()
+
+		res.redists = rt.Redistributions()
+		res.removed = !rt.Participating()
+		res.events = rt.Events()
+		res.final = c.Now()
+		res.relRank = rt.RelRank()
+		if rt.Participating() {
+			res.counts = rt.Dist().Counts()
+			lo, hi := ph.Bounds()
+			res.ownedOK = true
+			res.ownedCnt = hi - lo
+			for g := lo; g < hi; g++ {
+				for j := 0; j < 4; j++ {
+					if x.Row(g)[j] != float64(g*10+cycles) {
+						res.ownedOK = false
+					}
+				}
+			}
+		}
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func countResizeEvents(res *miniResult) int {
+	n := 0
+	for _, ev := range res.events {
+		if ev.Kind == EvResize {
+			n++
+		}
+	}
+	return n
+}
+
+// TestResizeGrowOnArrival: two capacity nodes arrive at cycle 10 and must
+// be admitted automatically — the final distribution spans six ranks, the
+// joiners own rows, and every row carries the value an uninterrupted run
+// produces (redistribution handed the joiners up-to-date data).
+func TestResizeGrowOnArrival(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	spec := cluster.Uniform(4).WithArrival(1.0, 10).WithArrival(1.0, 10)
+	results := runElastic(t, spec, cfg, 64, 30, 0, 0)
+	checkValuesAndCoverage(t, results, 64)
+	if len(results) != 6 {
+		t.Fatalf("%d ranks reported, want 6 (4 seed + 2 joiners)", len(results))
+	}
+	for _, r := range []int{4, 5} {
+		res := results[r]
+		if res == nil || res.removed {
+			t.Fatalf("joiner %d missing or removed: %+v", r, res)
+		}
+		if res.ownedCnt == 0 {
+			t.Fatalf("joiner %d owns no rows", r)
+		}
+		if countResizeEvents(res) == 0 {
+			t.Fatalf("joiner %d recorded no %v event", r, EvResize)
+		}
+	}
+	for r, res := range results {
+		if len(res.counts) != 6 {
+			t.Fatalf("rank %d final distribution %v does not span 6 ranks", r, res.counts)
+		}
+	}
+	if countResizeEvents(results[0]) == 0 {
+		t.Fatalf("seed rank recorded no %v event", EvResize)
+	}
+}
+
+// TestResizeExplicitGrowClaimsReserves: reserve capacity (AtCycle < 0) is
+// claimed only by an explicit Resize call, which every active rank issues
+// at the same iteration.
+func TestResizeExplicitGrowClaimsReserves(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	spec := cluster.Uniform(4).WithArrival(1.0, -1).WithArrival(1.0, -1)
+	// Without a Resize call, reserves stay unclaimed.
+	idle := runElastic(t, spec, cfg, 64, 20, 0, 0)
+	checkValuesAndCoverage(t, idle, 64)
+	if len(idle) != 4 {
+		t.Fatalf("reserves were spawned without a Resize call: %d ranks reported", len(idle))
+	}
+	// With one, both reserves join.
+	results := runElastic(t, spec, cfg, 64, 30, 10, 6)
+	checkValuesAndCoverage(t, results, 64)
+	if len(results) != 6 {
+		t.Fatalf("%d ranks reported after Resize(6), want 6", len(results))
+	}
+	for r, res := range results {
+		if res.removed {
+			t.Fatalf("rank %d removed after a grow", r)
+		}
+		if len(res.counts) != 6 {
+			t.Fatalf("rank %d final distribution %v does not span 6 ranks", r, res.counts)
+		}
+	}
+}
+
+// TestResizeShrinkReleasesRanks: Resize(4) on a 6-rank world drops the two
+// highest ranks. With AllowRejoin on, the released (unloaded!) ranks must
+// NOT flap back in — explicit shrinkage is recorded in resizedOut and
+// excluded from automatic rejoin.
+func TestResizeShrinkReleasesRanks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	cfg.AllowRejoin = true
+	results := runElastic(t, cluster.Uniform(6), cfg, 64, 40, 10, 4)
+	checkValuesAndCoverage(t, results, 64)
+	for _, r := range []int{4, 5} {
+		if !results[r].removed {
+			t.Fatalf("rank %d not removed by Resize(4) (or flapped back in via rejoin)", r)
+		}
+	}
+	for _, r := range []int{0, 1, 2, 3} {
+		res := results[r]
+		if res.removed {
+			t.Fatalf("rank %d removed by Resize(4), want kept", r)
+		}
+		if len(res.counts) != 4 {
+			t.Fatalf("rank %d final distribution %v does not span 4 ranks", r, res.counts)
+		}
+	}
+	if countResizeEvents(results[0]) == 0 {
+		t.Fatalf("no %v event recorded for the shrink", EvResize)
+	}
+}
+
+// TestResizeDeterministic: repeated grow runs produce identical finish
+// times and event streams on every rank, joiners included.
+func TestResizeDeterministic(t *testing.T) {
+	runOnce := func() map[int]*miniResult {
+		cfg := DefaultConfig()
+		cfg.Drop = DropNever
+		spec := cluster.Uniform(4).WithArrival(1.0, 10).WithArrival(1.0, 10)
+		return runElastic(t, spec, cfg, 64, 30, 0, 0)
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("rank sets differ: %d vs %d", len(a), len(b))
+	}
+	for r, res := range a {
+		other := b[r]
+		if res.final != other.final {
+			t.Fatalf("rank %d finish time differs across runs: %v vs %v", r, res.final, other.final)
+		}
+		if len(res.events) != len(other.events) {
+			t.Fatalf("rank %d event counts differ: %d vs %d", r, len(res.events), len(other.events))
+		}
+		for i := range res.events {
+			if res.events[i].Time != other.events[i].Time || res.events[i].Kind != other.events[i].Kind {
+				t.Fatalf("rank %d event %d differs: %+v vs %+v", r, i, res.events[i], other.events[i])
+			}
+		}
+	}
+}
+
+// TestResizeGrowWithPacer: growth under a WorldGate — the joiners must be
+// folded into the gate (via Grow) without wedging the wave they join, and
+// the paced run must finish with the same membership as an unpaced one.
+func TestResizeGrowWithPacer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Drop = DropNever
+	spec := cluster.Uniform(4).WithArrival(1.0, 8)
+	gate := NewWorldGate(4)
+	cfg.Pacer = gate
+	cl := cluster.New(spec)
+	cl.SetRankExitHook(gate.RankExit)
+
+	var mu sync.Mutex
+	finished := map[int]bool{}
+	done := make(chan error, 1)
+	go func() {
+		done <- mpi.Run(cl, func(c *mpi.Comm) error {
+			rt := New(c, cfg)
+			x := rt.RegisterDense("X", 48, 2)
+			ph := rt.InitPhase(48)
+			ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+			rt.Commit()
+			start := 0
+			if rt.Joined() {
+				start = rt.Cycle()
+			} else {
+				x.Fill(func(g, j int) float64 { return float64(g) })
+			}
+			for tstep := start; tstep < 20; tstep++ {
+				if rt.BeginCycle() {
+					lo, hi := ph.Bounds()
+					for g := lo; g < hi; g++ {
+						rt.ComputeIter(g, iterCost)
+					}
+				}
+				rt.EndCycle()
+			}
+			rt.Finalize()
+			mu.Lock()
+			finished[c.Rank()] = rt.Participating()
+			mu.Unlock()
+			return nil
+		})
+	}()
+	// Drive the world to completion one cycle-wave at a time.
+	for gate.HasPendingEvents() {
+		gate.ProcessNextEvent()
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(finished) != 5 {
+		t.Fatalf("%d ranks finished under pacing, want 5", len(finished))
+	}
+	for r, part := range finished {
+		if !part {
+			t.Fatalf("rank %d not participating at the end", r)
+		}
+	}
+}
+
+// TestCrashWhileRemovedPrunesSameCycle is the dead-removed-node satellite:
+// a removed node that crashes mid-poll must leave rt.removed on every
+// active rank in the detection cycle itself, its mailbox must not keep
+// accumulating protocol traffic, and a surviving removed node must still be
+// able to rejoin later.
+func TestCrashWhileRemovedPrunesSameCycle(t *testing.T) {
+	results := runCrashWhileRemoved(t)
+	// Rank 1 (crashed while removed) never reports.
+	if _, ok := results[1]; ok {
+		t.Fatal("crashed removed rank reported a result")
+	}
+	// Every survivor pruned it: final distributions span exactly the three
+	// remaining ranks (0, 2 rejoined, 3).
+	for r, res := range results {
+		if res.removed {
+			t.Fatalf("rank %d still removed at the end", r)
+		}
+		if len(res.counts) != 3 {
+			t.Fatalf("rank %d final distribution %v, want 3 members", r, res.counts)
+		}
+	}
+	// The prune happened in the cycle the crash was detected, on every
+	// rank: all EvFailure events carry the same cycle.
+	failCycle := -1
+	for r, res := range results {
+		for _, ev := range res.events {
+			if ev.Kind == EvFailure {
+				if failCycle == -1 {
+					failCycle = ev.Cycle
+				} else if ev.Cycle != failCycle {
+					t.Fatalf("rank %d pruned the corpse at cycle %d, others at %d", r, ev.Cycle, failCycle)
+				}
+			}
+		}
+	}
+	if failCycle == -1 {
+		t.Fatal("no EvFailure recorded for the crashed removed node")
+	}
+	// The surviving removed node rejoined after the corpse was pruned.
+	sawRejoin := false
+	for _, ev := range results[2].events {
+		if ev.Kind == EvRejoin {
+			sawRejoin = true
+		}
+	}
+	if !sawRejoin {
+		t.Fatal("surviving removed node did not rejoin after the corpse was pruned")
+	}
+}
+
+// runCrashWhileRemoved: 4 ranks; CPs land on ranks 1 and 2 at cycle 3 (both
+// dropped), rank 1 crashes at cycle 12 while removed, rank 2's CP leaves at
+// cycle 20 so it rejoins.
+func runCrashWhileRemoved(t *testing.T) map[int]*miniResult {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Drop = DropAlways
+	cfg.AllowRejoin = true
+	spec := cluster.Uniform(4).
+		With(cluster.CycleEvent(1, 3, +1)).
+		With(cluster.CycleEvent(2, 3, +1)).
+		With(cluster.CycleEvent(2, 20, -1))
+	spec.Faults = append(spec.Faults, fault.CrashAtCycle(1, 12))
+	return runMini(t, spec, cfg, 64, 45, false)
+}
+
+// TestCrashWhileRemovedDeterministic: the crash-while-removed scenario
+// produces byte-identical traces across runs — the protocol's send charges
+// must not depend on whether the corpse's crash goroutine has fired yet
+// (the reason dead-guards key on the absorbed dead set, not mpi.Alive).
+func TestCrashWhileRemovedDeterministic(t *testing.T) {
+	a, b := runCrashWhileRemoved(t), runCrashWhileRemoved(t)
+	if len(a) != len(b) {
+		t.Fatalf("survivor sets differ: %d vs %d", len(a), len(b))
+	}
+	for r, res := range a {
+		other := b[r]
+		if res.final != other.final {
+			t.Fatalf("rank %d finish time differs across runs: %v vs %v", r, res.final, other.final)
+		}
+		if len(res.events) != len(other.events) {
+			t.Fatalf("rank %d event counts differ: %d vs %d", r, len(res.events), len(other.events))
+		}
+		for i := range res.events {
+			if res.events[i].Time != other.events[i].Time || res.events[i].Kind != other.events[i].Kind {
+				t.Fatalf("rank %d event %d differs: %+v vs %+v", r, i, res.events[i], other.events[i])
+			}
+		}
+	}
+}

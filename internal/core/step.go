@@ -96,8 +96,41 @@ func (g *WorldGate) RankExit(rank int) {
 	g.mu.Unlock()
 }
 
+// Grow extends the gate to cover ranks spawned into arrival capacity by an
+// elastic resize. Arrival slots below the highest spawned rank that are not
+// (yet) spawned are recorded as exited so they can never block quiescence;
+// a later Grow that claims them flips them back to running. The runtime's
+// grow path calls this (on the root, mid-wave) before World.Spawn, so a
+// stepping controller accounts for the joiners from the moment they exist.
+func (g *WorldGate) Grow(ranks []int) {
+	g.mu.Lock()
+	max := g.n
+	for _, r := range ranks {
+		if r+1 > max {
+			max = r + 1
+		}
+	}
+	for g.n < max {
+		g.state = append(g.state, gateExited)
+		g.released = append(g.released, false)
+		var zero vclock.Time
+		g.times = append(g.times, zero)
+		g.exited++
+		g.n++
+	}
+	for _, r := range ranks {
+		if g.state[r] == gateExited {
+			g.state[r] = gateRunning
+			g.exited--
+		}
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
 // waitQuiescent blocks until every rank is parked or exited. Callers hold
-// g.mu.
+// g.mu. The loop re-reads g.n each pass, so a concurrent Grow (the root
+// admitting joiners mid-wave) safely raises the quiescence bar.
 func (g *WorldGate) waitQuiescent() {
 	for g.parked+g.exited < g.n {
 		g.cond.Wait()

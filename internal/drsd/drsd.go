@@ -335,6 +335,60 @@ func appendGapTransfers(out []Transfer, oldD *Block, r, lo, hi int) []Transfer {
 	return out
 }
 
+// OwnedOnly reports whether every access is a unit-stride, zero-offset
+// reference — the pattern whose DRSD window is exactly the owned iteration
+// range, with no ghost rows. Arrays matching it can be redistributed with
+// the cheaper ScheduleDiff instead of the window machinery.
+func OwnedOnly(accesses []Access) bool {
+	if len(accesses) == 0 {
+		return false
+	}
+	for _, a := range accesses {
+		if a.Step != 1 || a.Off != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ScheduleDiff computes the contiguous-window delta between two block
+// distributions: one transfer per maximal contiguous run of rows whose
+// owner changed, and nothing else. It is the resize-time schedule — when a
+// world grows or shrinks, only the rows the new partition reassigns move,
+// never the full array — and is equivalent to the per-row Schedule over the
+// same distributions (property-tested), but runs on block bounds instead of
+// rows: O(p·log q) in the rank counts, independent of the row count.
+// Transfers are ordered by receiving rank (newD rank order), then row —
+// the same deterministic order ScheduleWindowsInto emits — so both the
+// blocking and RMA redistribution engines can consume it directly.
+func ScheduleDiff(oldD, newD *Block) []Transfer {
+	return ScheduleDiffInto(nil, oldD, newD)
+}
+
+// ScheduleDiffInto is ScheduleDiff appending into buf (pass buf[:0] to
+// recycle a scratch slice across resizes). buf may be nil.
+func ScheduleDiffInto(buf []Transfer, oldD, newD *Block) []Transfer {
+	if oldD.Rows() != newD.Rows() {
+		panic("drsd: schedule across different row counts")
+	}
+	out := buf
+	for i, r := range newD.ranks {
+		nlo, nhi := newD.bounds[i], newD.bounds[i+1]
+		olo, ohi := oldD.RangeOf(r)
+		if olo >= ohi {
+			// Owned nothing before (a joiner): the whole new range is one gap.
+			olo, ohi = nlo, nlo
+		}
+		// Needed = [nlo,nhi) minus the previously owned [olo,ohi): at most
+		// one gap on each side. appendGapTransfers skips segments the
+		// receiver already owns, so an old range interleaved with the gaps
+		// generates no self-transfers.
+		out = appendGapTransfers(out, oldD, r, nlo, min(nhi, olo))
+		out = appendGapTransfers(out, oldD, r, max(nlo, ohi), nhi)
+	}
+	return out
+}
+
 // BytesMoved reports the total payload of a schedule given a per-row size.
 func BytesMoved(ts []Transfer, rowBytes func(g int) int64) int64 {
 	var total int64

@@ -47,13 +47,23 @@ func (w *World) Kill(rank int) {
 	// will ever drain them. Reclaim them here so they do not count as
 	// leaked operations; live ranks' requests on the dead peer stay posted
 	// and resolve to RankFailedError at their Wait (the broadcast above
-	// re-runs those liveness checks).
+	// re-runs those liveness checks). Queued envelopes are purged for the
+	// same reason — nothing will ever receive them — and deliver drops any
+	// that arrive later, so a corpse's mailbox stays empty instead of
+	// accreting protocol pings forever.
 	db := w.boxes[rank]
 	db.mu.Lock()
 	for i := range db.posted {
 		db.posted[i] = nil
 	}
 	db.posted = db.posted[:0]
+	for k, q := range db.queues {
+		for !q.empty() {
+			q.pop()
+		}
+		delete(db.queues, k)
+	}
+	db.total = 0
 	db.mu.Unlock()
 	w.groups.Lock()
 	groups := append([]*Group(nil), w.groups.list...)

@@ -163,9 +163,18 @@ func (b *mailbox) take(src, tag int) (envelope, bool) {
 
 // World owns the shared state of one simulated run: mailboxes, the default
 // all-ranks group, and failure propagation.
+//
+// A world's capacity is fixed at creation from the cluster's seed size plus
+// its arrival capacity. Every per-rank structure (mailboxes, dead bitmap)
+// is preallocated to that capacity and never reallocated, so Spawn — which
+// grows the running world into the preallocated slots — is race-free with
+// zero cost on the steady-state paths: a send to a not-yet-spawned rank
+// simply enqueues into its (empty) mailbox and is drained when the joiner
+// starts.
 type World struct {
 	cl     *cluster.Cluster
-	n      int
+	n      int // seed size: ranks [0,n) run from the start
+	cap    int // capacity: seed + arrivals; bounds every rank ID
 	boxes  []*mailbox
 	all    *Group
 	failed atomic.Bool
@@ -177,6 +186,16 @@ type World struct {
 		byKey map[string]*Group
 	}
 
+	// size is the number of ranks spawned so far (seed n, grown by Spawn);
+	// spawned[i] marks arrival slot n+i as claimed.
+	size    atomic.Int32
+	spawned []atomic.Bool
+
+	// SPMD harness state, set by Run so Spawn can launch joiners running
+	// the same rank function under the same WaitGroup.
+	runFn func(*Comm) error
+	runWG sync.WaitGroup
+
 	// Liveness: dead[r] is set once rank r crashes (injected fault).
 	// deadCount lets hot paths skip the per-rank check with one atomic
 	// load while no rank has died.
@@ -185,11 +204,14 @@ type World struct {
 	flt       *fault.Set // scenario faults; nil when none are injected
 }
 
-// NewWorld creates a world with one rank per cluster node.
+// NewWorld creates a world with one rank per cluster seed node, plus
+// preallocated capacity for every arrival node.
 func NewWorld(cl *cluster.Cluster) *World {
-	w := &World{cl: cl, n: cl.N(), flt: cl.FaultSet()}
-	w.dead = make([]atomic.Bool, w.n)
-	w.boxes = make([]*mailbox, w.n)
+	w := &World{cl: cl, n: cl.N(), cap: cl.MaxN(), flt: cl.FaultSet()}
+	w.size.Store(int32(w.n))
+	w.spawned = make([]atomic.Bool, w.cap-w.n)
+	w.dead = make([]atomic.Bool, w.cap)
+	w.boxes = make([]*mailbox, w.cap)
 	for i := range w.boxes {
 		b := &mailbox{queues: make(map[uint64]*envQueue)}
 		b.cond = sync.NewCond(&b.mu)
@@ -203,8 +225,14 @@ func NewWorld(cl *cluster.Cluster) *World {
 	return w
 }
 
-// N reports the number of ranks.
+// N reports the number of seed ranks (the world size a run starts with).
 func (w *World) N() int { return w.n }
+
+// Cap reports the world's rank capacity: seed ranks plus arrival slots.
+func (w *World) Cap() int { return w.cap }
+
+// CurSize reports the number of ranks spawned so far (seed + joined).
+func (w *World) CurSize() int { return int(w.size.Load()) }
 
 // Cluster returns the underlying cluster model.
 func (w *World) Cluster() *cluster.Cluster { return w.cl }
@@ -302,8 +330,13 @@ func (w *World) NewComm(r int) *Comm {
 // Rank reports this endpoint's world rank.
 func (c *Comm) Rank() int { return c.rank }
 
-// Size reports the world size.
+// Size reports the seed world size (the rank count the run started with).
 func (c *Comm) Size() int { return c.w.n }
+
+// Spawned reports whether this rank joined after the seed world started
+// (its rank ID lies beyond the seed size). Joiners bootstrap their runtime
+// state from the membership protocol instead of the SPMD initial state.
+func (c *Comm) Spawned() bool { return c.rank >= c.w.n }
 
 // Node returns the cluster node this rank runs on.
 func (c *Comm) Node() *cluster.Node { return c.node }
@@ -335,7 +368,7 @@ func wireTime(net cluster.NetParams, b int) vclock.Duration {
 // mutate it afterwards (ownership transfer, as in a zero-copy MPI).
 func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 	c.checkFailed()
-	if dst < 0 || dst >= c.w.n {
+	if dst < 0 || dst >= c.w.cap {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
 	var faultDelay vclock.Duration
@@ -364,7 +397,17 @@ func (c *Comm) Send(dst, tag int, payload any, bytes int) {
 // blocking receive posted later for the same key, which preserves FIFO
 // order per (src,tag): Irecv only posts on a queue miss, so a posted
 // request never coexists with an older queued match.
+//
+// Envelopes addressed to a dead rank are dropped: nothing will ever receive
+// them, and enqueueing them would grow the corpse's mailbox without bound
+// (one ping per poll cycle from the rejoin protocol alone). Together with
+// Kill's queue purge this keeps a dead rank's mailbox pinned at zero
+// regardless of whether a racing send lands before or after the death is
+// published.
 func (w *World) deliver(dst int, env envelope) {
+	if w.deadCount.Load() > 0 && w.dead[dst].Load() {
+		return
+	}
 	box := w.boxes[dst]
 	box.mu.Lock()
 	env.seq = box.seq
@@ -499,38 +542,83 @@ func Run(cl *cluster.Cluster, fn func(*Comm) error) error {
 	return w.Run(fn)
 }
 
-// Run executes fn on every rank of an existing world.
+// Run executes fn on every seed rank of an existing world. The function and
+// WaitGroup are retained on the world so Spawn can launch joiner ranks
+// running the same SPMD body mid-run.
 func (w *World) Run(fn func(*Comm) error) error {
-	exitHook := w.cl.RankExitHook()
-	var wg sync.WaitGroup
+	w.runFn = fn
 	for r := 0; r < w.n; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			comm := w.NewComm(rank)
-			defer func() {
-				if p := recover(); p != nil {
-					unwound := false
-					if err, ok := p.(error); ok {
-						// errFailed: unwound by another rank's failure.
-						// errCrashed: injected crash, this rank simply stops.
-						unwound = errors.Is(err, errFailed) || errors.Is(err, errCrashed)
-					}
-					if !unwound {
-						w.fail(fmt.Errorf("rank %d panicked: %v", rank, p))
-					}
-				}
-				if exitHook != nil {
-					exitHook(rank)
-				}
-			}()
-			if err := fn(comm); err != nil {
-				w.fail(fmt.Errorf("rank %d: %w", rank, err))
-			}
-		}(r)
+		w.launch(r)
 	}
-	wg.Wait()
+	w.runWG.Wait()
 	return w.Err()
+}
+
+// launch starts rank's goroutine running the world's SPMD function.
+func (w *World) launch(rank int) {
+	exitHook := w.cl.RankExitHook()
+	w.runWG.Add(1)
+	go func() {
+		defer w.runWG.Done()
+		comm := w.NewComm(rank)
+		defer func() {
+			if p := recover(); p != nil {
+				unwound := false
+				if err, ok := p.(error); ok {
+					// errFailed: unwound by another rank's failure.
+					// errCrashed: injected crash, this rank simply stops.
+					unwound = errors.Is(err, errFailed) || errors.Is(err, errCrashed)
+				}
+				if !unwound {
+					w.fail(fmt.Errorf("rank %d panicked: %v", rank, p))
+				}
+			}
+			if exitHook != nil {
+				exitHook(rank)
+			}
+		}()
+		if err := w.runFn(comm); err != nil {
+			w.fail(fmt.Errorf("rank %d: %w", rank, err))
+		}
+	}()
+}
+
+// Spawn grows the running world, starting a goroutine for each given rank
+// that executes the same SPMD function Run launched the seed ranks with.
+// Rank IDs must lie in the arrival capacity [N, Cap) and not already be
+// spawned (they need not be sequential: reserve capacity can be claimed out
+// of arrival order). Spawn must be called from exactly one running rank's
+// goroutine (the runtime's root performs it), which also guarantees the
+// run's WaitGroup is still held. The new ranks' mailboxes already exist —
+// anything sent to them before they start is waiting when they do — and
+// their node clocks start at zero, jumping forward to the cluster-wide
+// present at their first receive.
+func (w *World) Spawn(ranks []int) {
+	if w.runFn == nil {
+		panic("mpi: Spawn before Run")
+	}
+	for _, r := range ranks {
+		if r < w.n || r >= w.cap {
+			panic(fmt.Sprintf("mpi: Spawn rank %d outside arrival capacity [%d,%d)", r, w.n, w.cap))
+		}
+		if w.spawned[r-w.n].Swap(true) {
+			panic(fmt.Sprintf("mpi: rank %d spawned twice", r))
+		}
+	}
+	w.size.Add(int32(len(ranks)))
+	for _, r := range ranks {
+		w.launch(r)
+	}
+}
+
+// QueuedMsgs reports the number of envelopes currently queued in rank's
+// mailbox (excluding filled posted requests). Tests use it to assert dead
+// ranks' mailboxes do not accrete messages.
+func (w *World) QueuedMsgs(rank int) int {
+	b := w.boxes[rank]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
 }
 
 // --- collectives ---------------------------------------------------------

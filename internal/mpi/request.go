@@ -88,7 +88,7 @@ func (c *Comm) putReq(r *Request) {
 // as with Send.
 func (c *Comm) Isend(dst, tag int, payload any, bytes int) *Request {
 	c.checkFailed()
-	if dst < 0 || dst >= c.w.n {
+	if dst < 0 || dst >= c.w.cap {
 		panic(fmt.Sprintf("mpi: isend to invalid rank %d", dst))
 	}
 	var faultDelay vclock.Duration
@@ -129,7 +129,7 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	if src == AnySource || tag == AnyTag {
 		panic("mpi: Irecv does not support AnySource/AnyTag")
 	}
-	if src < 0 || src >= c.w.n {
+	if src < 0 || src >= c.w.cap {
 		panic(fmt.Sprintf("mpi: irecv from invalid rank %d", src))
 	}
 	if c.flt != nil {

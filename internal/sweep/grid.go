@@ -1,7 +1,7 @@
 // Package sweep multiplexes many deterministic virtual-time worlds under a
 // single scheduler. A Grid enumerates a parameter space (scenario × ranks ×
-// grace period × overlap × faults × replication × one-sided commits) into
-// Cells; the engine in
+// grace period × overlap × faults × replication × one-sided commits ×
+// elastic resize) into Cells; the engine in
 // engine.go runs each cell as its own goroutine-per-rank world behind a
 // core.WorldGate and advances the active worlds in global virtual-time
 // order, stepping the globally-earliest ones concurrently.
@@ -43,13 +43,21 @@ type Cell struct {
 	// commits run in RedistRMA mode and replica refreshes (when Replicate
 	// is set) use the deferred-epoch one-sided path (core.Config.ReplicaRMA).
 	RMA bool
+	// Resize selects elastic membership change: "none", or "grow" (the
+	// world gains Grid.ResizeAdd timed arrivals at Grid.ResizeCycle and
+	// auto-grows into them mid-run). Empty means "none".
+	Resize string
 }
 
 // Key renders the cell as a stable, human-greppable identifier, e.g.
-// "jacobi/r4/gp3/ov0/fnone/rep0/rma0".
+// "jacobi/r4/gp3/ov1/fnone/rep0/rma0/rznone".
 func (c Cell) Key() string {
-	return fmt.Sprintf("%s/r%d/gp%d/ov%s/f%s/rep%s/rma%s",
-		c.Scenario, c.Ranks, c.GP, bit(c.Overlap), c.Fault, bit(c.Replicate), bit(c.RMA))
+	rz := c.Resize
+	if rz == "" {
+		rz = "none"
+	}
+	return fmt.Sprintf("%s/r%d/gp%d/ov%s/f%s/rep%s/rma%s/rz%s",
+		c.Scenario, c.Ranks, c.GP, bit(c.Overlap), c.Fault, bit(c.Replicate), bit(c.RMA), rz)
 }
 
 func bit(b bool) string {
@@ -63,7 +71,7 @@ func bit(b bool) string {
 // plus the shared workload knobs every cell runs under.
 type Grid struct {
 	// Axes. The cross product of these, in this nesting order (scenario
-	// outermost, one-sided mode innermost), is the cell list.
+	// outermost, elastic resize innermost), is the cell list.
 	Scenarios []string
 	Ranks     []int
 	GPs       []int
@@ -71,6 +79,7 @@ type Grid struct {
 	Faults    []string
 	Reps      []bool
 	RMAs      []bool
+	Resizes   []string
 
 	// Workload knobs shared by all cells.
 	Rows, Cols  int     // grid size (jacobi/sor/particles); cg uses Rows*Cols/Scale
@@ -80,24 +89,28 @@ type Grid struct {
 	CPCycle     int     // phase cycle at which it arrives
 	CrashNode   int     // node killed by "crash" cells
 	CrashCycle  int     // phase cycle of the crash
+	ResizeCycle int     // phase cycle the "grow" arrivals come up at
+	ResizeAdd   int     // nodes added by "grow" cells
 	RingCap     int     // per-world telemetry ring capacity
 }
 
-// Smoke returns the CI-sized grid: 2 scenarios × 2 world sizes × overlap
-// on/off × fault none/crash × replication on/off × one-sided commits
-// on/off = 64 cells, each a few dozen phase cycles, small enough to sweep
-// in seconds yet exercising every adaptation path (CP arrival with
-// unconditional drop, crash recovery with and without replicas, and both
-// the two-sided and one-sided data movers).
+// Smoke returns the CI-sized grid: 2 scenarios × 2 world sizes × fault
+// none/crash × replication on/off × one-sided commits on/off × resize
+// none/grow = 64 cells (overlap pinned on — its off/on equivalence has its
+// own dedicated tests), each a few dozen phase cycles, small enough to
+// sweep in seconds yet exercising every adaptation path (CP arrival with
+// unconditional drop, crash recovery with and without replicas, both data
+// movers, and elastic growth into arrival capacity).
 func Smoke() Grid {
 	return Grid{
 		Scenarios: []string{"jacobi", "sor"},
 		Ranks:     []int{4, 8},
 		GPs:       []int{3},
-		Overlaps:  []bool{false, true},
+		Overlaps:  []bool{true},
 		Faults:    []string{"none", "crash"},
 		Reps:      []bool{false, true},
 		RMAs:      []bool{false, true},
+		Resizes:   []string{"none", "grow"},
 
 		// CostPerElem is high enough that the competing process visibly
 		// degrades its node on a 96x96 grid, so the drop path actually
@@ -105,6 +118,7 @@ func Smoke() Grid {
 		Rows: 96, Cols: 96, Iters: 30, CostPerElem: 40e3,
 		CPNode: 1, CPCycle: 10,
 		CrashNode: 2, CrashCycle: 12,
+		ResizeCycle: 18, ResizeAdd: 1,
 		RingCap: 1 << 15,
 	}
 }
@@ -120,11 +134,14 @@ func (g *Grid) Cells() []Cell {
 					for _, f := range g.Faults {
 						for _, rep := range g.Reps {
 							for _, rma := range g.RMAs {
-								cells = append(cells, Cell{
-									Index:    len(cells),
-									Scenario: scen, Ranks: ranks, GP: gp,
-									Overlap: ov, Fault: f, Replicate: rep, RMA: rma,
-								})
+								for _, rz := range g.Resizes {
+									cells = append(cells, Cell{
+										Index:    len(cells),
+										Scenario: scen, Ranks: ranks, GP: gp,
+										Overlap: ov, Fault: f, Replicate: rep, RMA: rma,
+										Resize: rz,
+									})
+								}
 							}
 						}
 					}
@@ -141,8 +158,8 @@ func (g *Grid) Cells() []Cell {
 func (g *Grid) Validate() error {
 	if len(g.Scenarios) == 0 || len(g.Ranks) == 0 || len(g.GPs) == 0 ||
 		len(g.Overlaps) == 0 || len(g.Faults) == 0 || len(g.Reps) == 0 ||
-		len(g.RMAs) == 0 {
-		return fmt.Errorf("sweep: empty axis (need scen/ranks/gp/overlap/fault/rep/rma)")
+		len(g.RMAs) == 0 || len(g.Resizes) == 0 {
+		return fmt.Errorf("sweep: empty axis (need scen/ranks/gp/overlap/fault/rep/rma/resize)")
 	}
 	minRanks := g.Ranks[0]
 	for _, r := range g.Ranks {
@@ -180,6 +197,21 @@ func (g *Grid) Validate() error {
 			return fmt.Errorf("sweep: grace period %d < 1", gp)
 		}
 	}
+	for _, rz := range g.Resizes {
+		switch rz {
+		case "none", "grow":
+		default:
+			return fmt.Errorf("sweep: unknown resize kind %q (want none|grow)", rz)
+		}
+		if rz == "grow" {
+			if g.ResizeAdd < 1 {
+				return fmt.Errorf("sweep: grow cells need ResizeAdd >= 1, have %d", g.ResizeAdd)
+			}
+			if g.ResizeCycle < 1 || g.ResizeCycle >= g.Iters {
+				return fmt.Errorf("sweep: resize cycle %d outside run of %d iterations", g.ResizeCycle, g.Iters)
+			}
+		}
+	}
 	if g.CPNode >= minRanks {
 		return fmt.Errorf("sweep: CP node %d outside smallest world (%d ranks)", g.CPNode, minRanks)
 	}
@@ -193,8 +225,8 @@ func (g *Grid) Validate() error {
 // semicolon-separated list of key=value(,value...) entries; axis keys take
 // comma-separated lists, workload keys take a single value:
 //
-//	scen=jacobi,sor;ranks=4,8;gp=3,5;overlap=0,1;fault=none,crash;rep=0,1;rma=0,1
-//	rows=96;cols=96;iters=30;cost=10000;cpnode=1;cpcycle=10;crashnode=2;crashcycle=12
+//	scen=jacobi,sor;ranks=4,8;gp=3,5;overlap=0,1;fault=none,crash;rep=0,1;rma=0,1;resize=none,grow
+//	rows=96;cols=96;iters=30;cost=10000;cpnode=1;cpcycle=10;crashnode=2;crashcycle=12;resizecycle=18;resizeadd=1
 //
 // Unknown keys are an error; unmentioned keys keep their current values.
 func (g *Grid) ParseSpec(spec string) error {
@@ -224,6 +256,8 @@ func (g *Grid) ParseSpec(spec string) error {
 			g.Reps, err = boolList(val)
 		case "rma":
 			g.RMAs, err = boolList(val)
+		case "resize":
+			g.Resizes = splitList(val)
 		case "rows":
 			g.Rows, err = strconv.Atoi(val)
 		case "cols":
@@ -240,6 +274,10 @@ func (g *Grid) ParseSpec(spec string) error {
 			g.CrashNode, err = strconv.Atoi(val)
 		case "crashcycle":
 			g.CrashCycle, err = strconv.Atoi(val)
+		case "resizecycle":
+			g.ResizeCycle, err = strconv.Atoi(val)
+		case "resizeadd":
+			g.ResizeAdd, err = strconv.Atoi(val)
 		default:
 			return fmt.Errorf("sweep: unknown -grid key %q", key)
 		}

@@ -180,7 +180,7 @@ func TestSmokeGridCoversAxes(t *testing.T) {
 		t.Fatalf("smoke grid invalid: %v", err)
 	}
 	cells := g.Cells()
-	want := len(g.Scenarios) * len(g.Ranks) * len(g.GPs) * len(g.Overlaps) * len(g.Faults) * len(g.Reps) * len(g.RMAs)
+	want := len(g.Scenarios) * len(g.Ranks) * len(g.GPs) * len(g.Overlaps) * len(g.Faults) * len(g.Reps) * len(g.RMAs) * len(g.Resizes)
 	if len(cells) != want {
 		t.Fatalf("got %d cells, want %d", len(cells), want)
 	}
@@ -204,7 +204,7 @@ func TestSmokeGridCoversAxes(t *testing.T) {
 // to the batch WriteJSONL report, and every cell is delivered exactly once.
 func TestStreamedCellsMatchReport(t *testing.T) {
 	g := Smoke()
-	if err := g.ParseSpec("scen=jacobi;ranks=4;overlap=0;iters=16"); err != nil {
+	if err := g.ParseSpec("scen=jacobi;ranks=4;overlap=0;iters=16;resizecycle=8"); err != nil {
 		t.Fatalf("parse: %v", err)
 	}
 	var streamed []CellResult
@@ -236,7 +236,7 @@ func TestStreamedCellsMatchReport(t *testing.T) {
 
 func TestParseSpec(t *testing.T) {
 	g := Smoke()
-	err := g.ParseSpec("scen=jacobi;ranks=4;gp=7;overlap=1;fault=none;rep=0;rma=1;rows=64;cols=48;iters=20;cost=500")
+	err := g.ParseSpec("scen=jacobi;ranks=4;gp=7;overlap=1;fault=none;rep=0;rma=1;resize=grow;rows=64;cols=48;iters=20;cost=500;resizecycle=12;resizeadd=2")
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -244,10 +244,10 @@ func TestParseSpec(t *testing.T) {
 		t.Fatalf("want 1 cell, got %d", len(g.Cells()))
 	}
 	c := g.Cells()[0]
-	if c.Scenario != "jacobi" || c.Ranks != 4 || c.GP != 7 || !c.Overlap || c.Fault != "none" || c.Replicate || !c.RMA {
+	if c.Scenario != "jacobi" || c.Ranks != 4 || c.GP != 7 || !c.Overlap || c.Fault != "none" || c.Replicate || !c.RMA || c.Resize != "grow" {
 		t.Errorf("unexpected cell %+v", c)
 	}
-	if g.Rows != 64 || g.Cols != 48 || g.Iters != 20 || g.CostPerElem != 500 {
+	if g.Rows != 64 || g.Cols != 48 || g.Iters != 20 || g.CostPerElem != 500 || g.ResizeCycle != 12 || g.ResizeAdd != 2 {
 		t.Errorf("workload knobs not applied: %+v", g)
 	}
 	for _, bad := range []string{"bogus=1", "ranks=x", "overlap=maybe", "scen"} {
@@ -256,7 +256,7 @@ func TestParseSpec(t *testing.T) {
 			t.Errorf("ParseSpec(%q) accepted", bad)
 		}
 	}
-	for _, invalid := range []string{"scen=quux", "ranks=1", "fault=flood", "iters=0"} {
+	for _, invalid := range []string{"scen=quux", "ranks=1", "fault=flood", "iters=0", "resize=shuffle", "resize=grow;resizeadd=0", "resize=grow;resizecycle=99"} {
 		g := Smoke()
 		if err := g.ParseSpec(invalid); err != nil {
 			t.Fatalf("parse %q: %v", invalid, err)

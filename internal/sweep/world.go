@@ -42,6 +42,14 @@ func startWorld(g *Grid, c Cell) *worldRun {
 	if c.Fault == "crash" {
 		spec.Faults = append(spec.Faults, fault.CrashAtCycle(g.CrashNode, g.CrashCycle))
 	}
+	if c.Resize == "grow" {
+		// Timed arrivals: the world auto-grows into them at ResizeCycle; the
+		// gate is extended by the runtime's grow path (WorldGate.Grow) before
+		// the joiners spawn, so the controller accounts for them.
+		for i := 0; i < g.ResizeAdd; i++ {
+			spec = spec.WithArrival(1.0, g.ResizeCycle)
+		}
+	}
 	gate := core.NewWorldGate(c.Ranks)
 	cl := cluster.New(spec)
 	cl.SetRankExitHook(gate.RankExit)
