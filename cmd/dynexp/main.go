@@ -42,19 +42,19 @@
 // every N cycles.
 //
 // The sweep subcommand multiplexes many worlds under one virtual-time
-// scheduler (see internal/sweep): -smoke runs the CI-sized 64-cell grid,
+// scheduler (see internal/sweep): -smoke runs the CI-sized 96-cell grid,
 // -grid overlays a custom axis/workload spec, -jobs sets the worker-pool
 // width, and -out writes the per-cell results as JSONL. The text report on
 // stdout is deterministic apart from lines prefixed "# wall-time:"; strip
 // those and two runs byte-compare equal regardless of -jobs or GOMAXPROCS.
-// -stream (with -out) appends each cell's JSONL row the moment it
-// finalizes — completion order, for consumers tailing the file — and
-// rewrites the file in enumeration order at the end, so the final file is
+// -stream (with -out) appends cells' JSONL rows as they finalize, held to
+// the in-order flush frontier: a row lands the moment every lower-indexed
+// cell has been written, so the file grows append-only in enumeration
+// order, each byte is written exactly once, and the final file is
 // byte-identical to a non-streamed -out.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -87,7 +87,7 @@ func main() {
 	gridSpec := flag.String("grid", "", "overlay a grid spec, e.g. 'scen=jacobi;ranks=4,8;gp=3' (sweep subcommand)")
 	jobs := flag.Int("jobs", 4, "worker-pool width: worlds stepped concurrently per scheduler round (sweep subcommand)")
 	outFile := flag.String("out", "", "write per-cell sweep results as JSONL to this file (sweep subcommand)")
-	stream := flag.Bool("stream", false, "with -out: append each cell's JSONL row as it finalizes, then rewrite the file in enumeration order at the end (sweep subcommand)")
+	stream := flag.Bool("stream", false, "with -out: append cell JSONL rows live in enumeration order (in-order flush frontier; no terminal rewrite) (sweep subcommand)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiment(s) to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	flag.Usage = usage
@@ -299,11 +299,12 @@ func main() {
 					return err
 				}
 			}
-			// -stream emits rows live, in completion order, so a consumer
-			// tailing the file sees progress; the rewrite below restores
-			// enumeration order, making the final file byte-identical to a
-			// non-streamed -out.
-			var streamErr error
+			// -stream appends rows live through the in-order flush frontier:
+			// a consumer tailing the file sees cells land in enumeration
+			// order as soon as every predecessor has finished, each byte is
+			// written exactly once, and the final file is byte-identical to
+			// a non-streamed -out — no terminal rewrite.
+			var sw *sweep.StreamWriter
 			if *stream {
 				if *outFile == "" {
 					return fmt.Errorf("sweep -stream needs -out")
@@ -313,22 +314,23 @@ func main() {
 					return err
 				}
 				defer f.Close()
-				enc := json.NewEncoder(f)
-				o.OnCell = func(cr sweep.CellResult) {
-					if streamErr == nil {
-						streamErr = enc.Encode(&cr)
-					}
-				}
+				sw = sweep.NewStreamWriter(f)
+				o.OnCell = sw.Add
 			}
 			r, err := exp.RunSweep(o)
 			if err != nil {
 				return err
 			}
-			if streamErr != nil {
-				return fmt.Errorf("streaming to %s: %w", *outFile, streamErr)
+			if sw != nil {
+				if sw.Err() != nil {
+					return fmt.Errorf("streaming to %s: %w", *outFile, sw.Err())
+				}
+				if n := sw.Pending(); n != 0 {
+					return fmt.Errorf("streaming to %s: %d rows never flushed", *outFile, n)
+				}
 			}
 			r.WriteText(os.Stdout)
-			if *outFile != "" {
+			if *outFile != "" && sw == nil {
 				f, err := os.Create(*outFile)
 				if err != nil {
 					return err

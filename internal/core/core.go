@@ -74,6 +74,7 @@ const (
 	tagReplica    = tagBase + 1024 // + array registration index (buddy-replica refresh)
 	tagRecover    = tagBase + 1536 // + array registration index (failure recovery)
 	tagRedistSync = tagBase + 2048 // + array registration index (RMA commit marker sync)
+	tagAdaptive   = tagBase + 2560 // + array registration index (adaptive paired replica slab)
 )
 
 // Config parameterises the runtime (the DMPI_init arguments plus the
@@ -126,6 +127,15 @@ type Config struct {
 	// computation hides the wire. Recovery content is identical to the
 	// paired path at the same ReplicaEvery staleness.
 	ReplicaRMA bool
+	// ReplicaSync selects how an RMA replica refresh synchronises its
+	// epochs (only meaningful with ReplicaRMA). The zero value SyncPSCW is
+	// the pairwise post/start/complete/wait protocol: each (holder, buddy)
+	// pair settles with two 8-byte control messages instead of the legacy
+	// full-group fence, whose dissemination barrier is what made 256-rank
+	// makespan tick up even as stall vanished. SyncFence keeps the legacy
+	// fence path; SyncAdaptive picks paired-p2p vs deferred-Put transport
+	// per refresh from the measured cycle/wire ratio (see rma.go).
+	ReplicaSync ReplicaSyncMode
 	// RedistMode selects how redistribution Phase 3 drains incoming slabs
 	// (see the constants; the zero value RedistPipelined keeps virtual
 	// timing byte-identical to the legacy blocking drain).
@@ -155,6 +165,32 @@ func DefaultConfig() Config {
 		Alloc:           matrix.Projection,
 	}
 }
+
+// ReplicaSyncMode selects the epoch synchronisation of the one-sided
+// replica refresh (Config.ReplicaSync, only with ReplicaRMA).
+type ReplicaSyncMode int
+
+const (
+	// SyncPSCW (default): pairwise general active-target sync. Each rank
+	// posts its windows to its ring predecessor, starts toward its
+	// successor, Puts its slab, completes, and waits — two 8-byte control
+	// messages per pair per refresh, O(1) in the group size, against the
+	// fence's ceil(log2 n) dissemination rounds paid by every member. Same
+	// deferred-epoch staleness and bit-identical recovery content as the
+	// fence path.
+	SyncPSCW ReplicaSyncMode = iota
+	// SyncFence is the legacy full-group fence synchronisation (PR 7's
+	// shape), kept as the equivalence oracle and for measuring the barrier
+	// cost the pairwise protocol removes.
+	SyncFence
+	// SyncAdaptive runs the PSCW handshake every refresh but lets each
+	// holder choose, per pair, between the deferred one-sided Put (wire
+	// hidden behind the next cycle) and an immediate paired send/recv
+	// (fresher replica) from its measured cycle/wire ratio; the verdict
+	// travels in-band on the post notification, so both ends of a pair
+	// agree without any global agreement step.
+	SyncAdaptive
+)
 
 // RedistMode selects the Phase 3 drain strategy of applyDistribution.
 type RedistMode int
@@ -250,11 +286,17 @@ func (k EventKind) String() string {
 // Event is one entry of the runtime's adaptation trace, used by the
 // experiment harness to reconstruct execution breakdowns (Figure 5).
 type Event struct {
-	Kind   EventKind
-	Cycle  int
-	Time   vclock.Time
-	Bytes  int64 // payload moved (redist-end)
-	Counts []int // iterations per active node (redist-end)
+	Kind  EventKind
+	Cycle int
+	Time  vclock.Time
+	Bytes int64 // payload moved, sent + received (redist-end)
+	// BytesSent/BytesRecv split Bytes by direction (redist-end): summing
+	// Bytes across ranks double-counts every transfer (each payload is one
+	// rank's send and another's receive), so cross-rank aggregation must
+	// use one direction — fault-free, Σ BytesSent == Σ BytesRecv.
+	BytesSent int64
+	BytesRecv int64
+	Counts    []int // iterations per active node (redist-end)
 	// Stall is the receive-side stall of the redistribution (redist-end):
 	// virtual time this rank's clock jumped forward waiting for slab
 	// arrivals. RedistOverlap exists to shrink it; the experiment harness
@@ -324,20 +366,32 @@ type Runtime struct {
 	repRanks    []int               // replica-group member list at the last open
 	repPrev     int                 // ring predecessor at the last open (world rank)
 	repNext     int                 // ring successor at the last open (world rank)
-	repOpen     bool                // a replica epoch is open (Puts posted, fence pending)
+	repOpen     bool                // a replica epoch is open (deposits or handshake pending)
 	repPend     map[string]repRange // range Put into this rank's window this epoch
+	repDirect   bool                // adaptive: this epoch's incoming slabs arrived paired (already committed)
+	repMark     vclock.Time         // adaptive: clock at the END of the last refresh
+	repMarked   bool                // adaptive: repMark holds a real previous refresh
+	repSpan     vclock.Duration     // adaptive: compute window between the last two refreshes
+	repSpanOK   bool                // adaptive: repSpan is a real measurement
+	adaptPut    int                 // adaptive refreshes that chose the deferred one-sided Put
+	adaptSend   int                 // adaptive refreshes that chose the immediate paired send
+	fetchWins   map[string]*mpi.Win // joiner-fetch window per dense array (Get under PSCW)
+	fetchGroup  *mpi.Group          // group the fetch windows span
 	redistWins  map[string]*mpi.Win // redistribution window per dense array
 	redistGroup *mpi.Group          // group the redistribution windows span
 
 	// Redistribution scratch, reused across applyDistribution calls so a
 	// steady stream of redistributions performs no per-call allocation for
 	// schedules or bookkeeping (see redist.go for the slab pool invariants).
-	schedBuf []drsd.Transfer
-	destBuf  []int
-	outsBuf  []redistOut
-	insBuf   []redistIn
-	reqBuf   []*mpi.Request
-	ordBuf   []int
+	schedBuf     []drsd.Transfer
+	restBuf      []drsd.Transfer // schedule minus joiner-fetch transfers
+	destBuf      []int
+	outsBuf      []redistOut
+	fetchOutsBuf []redistOut // joiner-bound outgoing transfers (pulled, not pushed)
+	fetchBuf     []float64   // packed joiner-bound slabs a fetch window exposes
+	insBuf       []redistIn
+	reqBuf       []*mpi.Request
+	ordBuf       []int
 
 	// Load-exchange scratch: the per-cycle allgather of load readings goes
 	// through the pooled float64 collective when no removed-node sidecar is

@@ -190,7 +190,7 @@ func (rt *Runtime) recoverDistribution(newDist *drsd.Block, dead []int) {
 	}
 	rt.record(EvRedistStart, 0, "failure")
 	me := rt.comm.Rank()
-	var bytesMoved int64
+	var bytesSent, bytesRecv int64
 	var moves []telemetry.ArrayMove
 	if rt.sink != nil {
 		moves = make([]telemetry.ArrayMove, 0, len(rt.order))
@@ -292,7 +292,7 @@ func (rt *Runtime) recoverDistribution(newDist *drsd.Block, dead []int) {
 			}
 			mv.Rows += m.rows
 			mv.Bytes += int64(m.bytes)
-			bytesMoved += int64(m.bytes)
+			bytesSent += int64(m.bytes)
 		}
 		if rt.cfg.Replicate && a.dense != nil {
 			rep := rt.replicas[name]
@@ -314,7 +314,7 @@ func (rt *Runtime) recoverDistribution(newDist *drsd.Block, dead []int) {
 				rt.comm.Send(tr.To, tag, replicaSlab{lo: plo, hi: phi, data: slab}, bytes)
 				mv.Rows += rows
 				mv.Bytes += int64(bytes)
-				bytesMoved += int64(bytes)
+				bytesSent += int64(bytes)
 			}
 		}
 		if rt.sink != nil && (mv.Rows > 0 || mv.Bytes > 0) {
@@ -328,7 +328,7 @@ func (rt *Runtime) recoverDistribution(newDist *drsd.Block, dead []int) {
 				continue
 			}
 			if deadSet[tr.From] {
-				rt.recoverTransfer(a, tag, tr, holder, deadSet, &bytesMoved)
+				rt.recoverTransfer(a, tag, tr, holder, deadSet, &bytesRecv)
 				continue
 			}
 			payload, st, err := rt.comm.RecvErr(tr.From, tag)
@@ -337,7 +337,7 @@ func (rt *Runtime) recoverDistribution(newDist *drsd.Block, dead []int) {
 				rt.loseRows(a, tr.Lo, tr.Hi)
 				continue
 			}
-			bytesMoved += int64(st.Bytes)
+			bytesRecv += int64(st.Bytes)
 			if a.dense != nil {
 				slab, ok := payload.(*denseSlab)
 				if !ok || slab.rows != tr.Hi-tr.Lo {
@@ -362,7 +362,8 @@ func (rt *Runtime) recoverDistribution(newDist *drsd.Block, dead []int) {
 	}
 	rt.events = append(rt.events, Event{
 		Kind: EvRedistEnd, Cycle: rt.cycle, Time: rt.node.Now(),
-		Bytes: bytesMoved, Counts: newDist.Counts(), Info: "failure",
+		Bytes: bytesSent + bytesRecv, BytesSent: bytesSent, BytesRecv: bytesRecv,
+		Counts: newDist.Counts(), Info: "failure",
 	})
 	if rt.sink != nil {
 		rows, sent := 0, int64(0)
@@ -375,7 +376,8 @@ func (rt *Runtime) recoverDistribution(newDist *drsd.Block, dead []int) {
 			Arrays:     moves,
 			RowsSent:   rows,
 			BytesSent:  sent,
-			BytesMoved: bytesMoved,
+			BytesRecv:  bytesRecv,
+			BytesMoved: sent + bytesRecv,
 			Counts:     newDist.Counts(),
 			LostRows:   rt.lostRows - lost0,
 		})
@@ -388,7 +390,7 @@ func (rt *Runtime) recoverDistribution(newDist *drsd.Block, dead []int) {
 // live replica exists (replication off, sparse array, buddy also dead) — by
 // declaring the rows lost. The holder sends exactly when the receiver
 // expects a message, both sides deciding from the same holder map.
-func (rt *Runtime) recoverTransfer(a *regArray, tag int, tr drsd.Transfer, holder map[int]int, deadSet map[int]bool, bytesMoved *int64) {
+func (rt *Runtime) recoverTransfer(a *regArray, tag int, tr drsd.Transfer, holder map[int]int, deadSet map[int]bool, bytesRecv *int64) {
 	h, ok := holder[tr.From]
 	if !rt.cfg.Replicate || a.dense == nil || !ok || deadSet[h] {
 		rt.loseRows(a, tr.Lo, tr.Hi)
@@ -404,7 +406,7 @@ func (rt *Runtime) recoverTransfer(a *regArray, tag int, tr drsd.Transfer, holde
 		rt.loseRows(a, tr.Lo, tr.Hi)
 		return
 	}
-	*bytesMoved += int64(st.Bytes)
+	*bytesRecv += int64(st.Bytes)
 	rs, ok := payload.(replicaSlab)
 	if !ok {
 		panic(fmt.Sprintf("core: bad replica recovery payload for %q", a.name))

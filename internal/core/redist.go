@@ -158,7 +158,7 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 	}
 	rt.record(EvRedistStart, 0, "")
 	me := rt.comm.Rank()
-	var bytesMoved int64
+	var bytesSent, bytesRecv int64
 	var moves []telemetry.ArrayMove
 	if rt.sink != nil {
 		moves = make([]telemetry.ArrayMove, 0, len(rt.order))
@@ -167,6 +167,27 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 	stall0 := rt.comm.RecvStall
 	rmaDown := false // a fence failed: remaining arrays use the blocking drain
 	olo, ohi := rt.dist.RangeOf(me)
+
+	// Resized-in ranks own nothing under the old distribution; in RMA mode
+	// their incoming dense transfers are pulled one-sided (Get under PSCW,
+	// rmaFetchArray) instead of pushed, so established owners never stall
+	// serving joiner state.
+	var newcomer map[int]bool
+	if rt.cfg.RedistMode == RedistRMA {
+		old := rt.dist.Ranks()
+		inOld := make(map[int]bool, len(old))
+		for _, r := range old {
+			inOld[r] = true
+		}
+		for _, r := range newDist.Ranks() {
+			if !inOld[r] {
+				if newcomer == nil {
+					newcomer = map[int]bool{}
+				}
+				newcomer[r] = true
+			}
+		}
+	}
 
 	for _, name := range rt.order {
 		a := rt.arrays[name]
@@ -183,6 +204,30 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 		}
 		sched := rt.schedBuf
 		tag := tagRedist + a.index
+
+		// Split off joiner-bound transfers: the fetch protocol moves them
+		// before the push phase, and the push paths run on the remainder.
+		// The split is schedule-derived, so every member computes it
+		// identically (the fetch windows register collectively).
+		rest := sched
+		fetch := false
+		if len(newcomer) > 0 && a.dense != nil && !rmaDown {
+			for _, tr := range sched {
+				if newcomer[tr.To] {
+					fetch = true
+					break
+				}
+			}
+		}
+		if fetch {
+			rest = rt.restBuf[:0]
+			for _, tr := range sched {
+				if !newcomer[tr.To] {
+					rest = append(rest, tr)
+				}
+			}
+			rt.restBuf = rest
+		}
 
 		// Phase 1: extract outgoing payloads before the window changes.
 		nlo, nhi := newDist.RangeOf(me)
@@ -208,11 +253,45 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 			}
 		}
 		outs := rt.outsBuf[:0]
+		fetchOuts := rt.fetchOutsBuf[:0]
+		fbuf := rt.fetchBuf[:0]
+		if fetch {
+			total := 0
+			for _, tr := range sched {
+				if tr.From == me && newcomer[tr.To] {
+					total += (tr.Hi - tr.Lo) * a.dense.RowLen
+				}
+			}
+			if cap(fbuf) < total {
+				fbuf = make([]float64, total)
+			} else {
+				fbuf = fbuf[:total]
+			}
+		}
+		foff := 0
 		for _, tr := range sched {
 			if tr.From != me {
 				continue
 			}
 			m := redistOut{to: tr.To, lo: tr.Lo, rows: tr.Hi - tr.Lo}
+			if fetch && newcomer[tr.To] {
+				// Joiner-bound rows pack back to back into the buffer the
+				// fetch window will expose — same extraction touches as a
+				// pushed slab; the joiner derives the offsets from the same
+				// schedule order.
+				a.dense.CopyRowsTo(fbuf[foff:foff+m.rows*a.dense.RowLen], tr.Lo, tr.Hi)
+				for g := tr.Lo; g < tr.Hi; g++ {
+					keep := g >= wlo && g < whi
+					destCount[g-olo]--
+					if keep || destCount[g-olo] > 0 || a.dense.Scheme() == matrix.Contiguous {
+						rt.node.ChargeTouch(a.dense.RowBytes())
+					}
+				}
+				m.bytes = m.rows * int(a.dense.RowBytes())
+				foff += m.rows * a.dense.RowLen
+				fetchOuts = append(fetchOuts, m)
+				continue
+			}
 			if a.dense != nil {
 				slab := getDenseSlab(m.rows, a.dense.RowLen)
 				a.dense.CopyRowsTo(slab.data, tr.Lo, tr.Hi)
@@ -239,6 +318,8 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 			outs = append(outs, m)
 		}
 		rt.outsBuf = outs
+		rt.fetchOutsBuf = fetchOuts
+		rt.fetchBuf = fbuf
 
 		// Phase 2: resize the resident window (reuses retained rows; the
 		// allocation scheme determines the cost).
@@ -255,6 +336,12 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 		// drain is the legacy oracle. Either way the commit — the only part
 		// that advances virtual time — runs in a deterministic order.
 		mv := telemetry.ArrayMove{Name: name}
+		if fetch {
+			// Joiner-bound transfers move first, one-sided: sources expose
+			// their packed slabs, joiners pull with Get under PSCW. Every
+			// member participates (the fetch windows register collectively).
+			rt.rmaFetchArray(a, sched, newDist, newcomer, fetchOuts, fbuf, &mv, &bytesSent, &bytesRecv)
+		}
 		mode := rt.cfg.RedistMode
 		if mode == RedistRMA {
 			// One-sided commit for dense arrays while the windows are healthy;
@@ -263,7 +350,7 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 			committed := false
 			if a.dense != nil && !rmaDown {
 				var down bool
-				committed, down = rt.rmaRedistArray(a, sched, newDist, outs, &mv, &bytesMoved)
+				committed, down = rt.rmaRedistArray(a, rest, newDist, outs, &mv, &bytesSent, &bytesRecv)
 				if down {
 					rmaDown = true
 				}
@@ -286,9 +373,9 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 				}
 				mv.Rows += m.rows
 				mv.Bytes += int64(m.bytes)
-				bytesMoved += int64(m.bytes)
+				bytesSent += int64(m.bytes)
 			}
-			for _, tr := range sched {
+			for _, tr := range rest {
 				if tr.To != me {
 					continue
 				}
@@ -301,13 +388,13 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 					rt.loseRows(a, tr.Lo, tr.Hi)
 					continue
 				}
-				bytesMoved += int64(st.Bytes)
+				bytesRecv += int64(st.Bytes)
 				rt.commitSlab(a, tr.Lo, tr.Hi, payload)
 			}
 		} else if mode != redistDone {
 			// Post all Irecvs up front (no virtual charge).
 			ins := rt.insBuf[:0]
-			for _, tr := range sched {
+			for _, tr := range rest {
 				if tr.To != me {
 					continue
 				}
@@ -329,7 +416,7 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 				}
 				mv.Rows += m.rows
 				mv.Bytes += int64(m.bytes)
-				bytesMoved += int64(m.bytes)
+				bytesSent += int64(m.bytes)
 			}
 			rt.comm.Waitall(reqs)
 			// Harvest completions physically, in whatever order they
@@ -380,7 +467,7 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 					rt.loseRows(a, in.lo, in.hi)
 					continue
 				}
-				bytesMoved += int64(st.Bytes)
+				bytesRecv += int64(st.Bytes)
 				rt.commitSlab(a, in.lo, in.hi, payload)
 			}
 		}
@@ -395,8 +482,9 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 	}
 	rt.events = append(rt.events, Event{
 		Kind: EvRedistEnd, Cycle: rt.cycle, Time: rt.node.Now(),
-		Bytes: bytesMoved, Counts: newDist.Counts(),
-		Stall: rt.comm.RecvStall - stall0,
+		Bytes: bytesSent + bytesRecv, BytesSent: bytesSent, BytesRecv: bytesRecv,
+		Counts: newDist.Counts(),
+		Stall:  rt.comm.RecvStall - stall0,
 	})
 	if rt.sink != nil {
 		rows, sent := 0, int64(0)
@@ -409,7 +497,8 @@ func (rt *Runtime) applyDistribution(newDist *drsd.Block) {
 			Arrays:     moves,
 			RowsSent:   rows,
 			BytesSent:  sent,
-			BytesMoved: bytesMoved,
+			BytesRecv:  bytesRecv,
+			BytesMoved: sent + bytesRecv,
 			Counts:     newDist.Counts(),
 			LostRows:   rt.lostRows - lost0,
 		})

@@ -363,3 +363,174 @@ func TestCrashWhileRemovedDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// runReshape is runElastic with an arbitrary sequence of Resize steps:
+// steps[cycle] = target. Every active rank issues the same requests at the
+// same iterations, as the SPMD discipline requires.
+func runReshape(t *testing.T, spec cluster.Spec, cfg Config, n, cycles int, steps map[int]int) map[int]*miniResult {
+	t.Helper()
+	var mu sync.Mutex
+	results := map[int]*miniResult{}
+	err := mpi.Run(cluster.New(spec), func(c *mpi.Comm) error {
+		rt := New(c, cfg)
+		x := rt.RegisterDense("X", n, 4)
+		ph := rt.InitPhase(n)
+		ph.AddAccess("X", drsd.ReadWrite, 1, 0)
+		rt.Commit()
+		start := 0
+		if rt.Joined() {
+			start = rt.Cycle()
+		} else {
+			x.Fill(func(g, j int) float64 { return float64(g * 10) })
+		}
+
+		res := &miniResult{rank: c.Rank()}
+		for tstep := start; tstep < cycles; tstep++ {
+			if to, ok := steps[tstep]; ok && rt.Participating() {
+				rt.Resize(to)
+			}
+			if rt.BeginCycle() {
+				lo, hi := ph.Bounds()
+				for g := lo; g < hi; g++ {
+					row := x.Row(g)
+					for j := range row {
+						row[j]++
+					}
+					rt.ComputeIter(g, iterCost)
+				}
+			}
+			rt.EndCycle()
+		}
+		rt.Finish()
+		rt.Finalize()
+
+		res.redists = rt.Redistributions()
+		res.removed = !rt.Participating()
+		res.events = rt.Events()
+		res.final = c.Now()
+		res.relRank = rt.RelRank()
+		if rt.Participating() {
+			res.counts = rt.Dist().Counts()
+			lo, hi := ph.Bounds()
+			res.ownedOK = true
+			res.ownedCnt = hi - lo
+			for g := lo; g < hi; g++ {
+				for j := 0; j < 4; j++ {
+					if x.Row(g)[j] != float64(g*10+cycles) {
+						res.ownedOK = false
+					}
+				}
+			}
+		}
+		mu.Lock()
+		results[c.Rank()] = res
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// reshapeCfgs are the configurations the multi-step reshape suites sweep:
+// the default message-passing paths and the full one-sided configuration
+// (RMA redistribution with joiner fetch, PSCW replica refresh).
+func reshapeCfgs() map[string]Config {
+	base := DefaultConfig()
+	base.Drop = DropNever
+	rma := DefaultConfig()
+	rma.Drop = DropNever
+	rma.RedistMode = RedistRMA
+	rma.Replicate = true
+	rma.ReplicaEvery = 1
+	rma.ReplicaRMA = true
+	return map[string]Config{"default": base, "rma-pscw": rma}
+}
+
+// TestReshapeGrowThenShrink runs both reshape directions in one run: the
+// world grows 4→6 by claiming reserves, then shrinks back 6→4. Values must
+// stay bit-exact against a dedicated run through both transitions — the
+// diff schedule moves rows out to the joiners and back again.
+func TestReshapeGrowThenShrink(t *testing.T) {
+	for name, cfg := range reshapeCfgs() {
+		spec := cluster.Uniform(4).WithArrival(1.0, -1).WithArrival(1.0, -1)
+		results := runReshape(t, spec, cfg, 64, 30, map[int]int{8: 6, 18: 4})
+		checkValuesAndCoverage(t, results, 64)
+		if len(results) != 6 {
+			t.Fatalf("%s: %d ranks reported, want 6 (4 seed + 2 reserves)", name, len(results))
+		}
+		for _, r := range []int{4, 5} {
+			if !results[r].removed {
+				t.Fatalf("%s: reserve %d still active after the shrink", name, r)
+			}
+		}
+		for _, r := range []int{0, 1, 2, 3} {
+			res := results[r]
+			if res.removed {
+				t.Fatalf("%s: seed rank %d removed", name, r)
+			}
+			if len(res.counts) != 4 {
+				t.Fatalf("%s: rank %d final distribution %v does not span 4 ranks", name, r, res.counts)
+			}
+			if res.redists < 2 {
+				t.Fatalf("%s: rank %d saw %d redistributions, want ≥ 2", name, r, res.redists)
+			}
+		}
+	}
+}
+
+// TestReshapeShrinkThenGrow is the reverse order in one run: 4→3, then
+// 3→5 by claiming reserves — the grow after a shrink drives the
+// joiner-fetch path while the distribution still records the shrink.
+func TestReshapeShrinkThenGrow(t *testing.T) {
+	for name, cfg := range reshapeCfgs() {
+		spec := cluster.Uniform(4).WithArrival(1.0, -1).WithArrival(1.0, -1)
+		results := runReshape(t, spec, cfg, 64, 30, map[int]int{8: 3, 18: 5})
+		checkValuesAndCoverage(t, results, 64)
+		if len(results) != 6 {
+			t.Fatalf("%s: %d ranks reported, want 6", name, len(results))
+		}
+		if !results[3].removed {
+			t.Fatalf("%s: rank 3 still active after Resize(3)", name)
+		}
+		for _, r := range []int{4, 5} {
+			res := results[r]
+			if res == nil || res.removed {
+				t.Fatalf("%s: reserve %d missing or removed after Resize(5)", name, r)
+			}
+			if res.ownedCnt == 0 {
+				t.Fatalf("%s: joiner %d owns no rows", name, r)
+			}
+		}
+		for _, r := range []int{0, 1, 2} {
+			if len(results[r].counts) != 5 {
+				t.Fatalf("%s: rank %d final distribution %v does not span 5 ranks", name, r, results[r].counts)
+			}
+		}
+	}
+}
+
+// TestReshapeDeterministic: the one-sided multi-step reshape must be
+// schedule-independent — identical finish times and event streams across
+// repeated runs, joiners included.
+func TestReshapeDeterministic(t *testing.T) {
+	cfg := reshapeCfgs()["rma-pscw"]
+	run := func() map[int]*miniResult {
+		spec := cluster.Uniform(4).WithArrival(1.0, -1).WithArrival(1.0, -1)
+		return runReshape(t, spec, cfg, 64, 30, map[int]int{8: 6, 18: 4})
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("rank sets differ: %d vs %d", len(a), len(b))
+	}
+	for r, res := range a {
+		other := b[r]
+		if res.final != other.final {
+			t.Fatalf("rank %d finish time differs across runs: %v vs %v", r, res.final, other.final)
+		}
+		if len(res.events) != len(other.events) {
+			t.Fatalf("rank %d event counts differ: %d vs %d", r, len(res.events), len(other.events))
+		}
+	}
+}

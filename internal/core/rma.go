@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/drsd"
 	"repro/internal/matrix"
 	"repro/internal/mpi"
@@ -22,12 +24,53 @@ import (
 // leaves the previous committed state intact, exactly like the paired
 // path's keep-the-stale-replica behaviour.
 //
-// Epoch/visibility discipline:
+// Epoch synchronisation (Config.ReplicaSync):
+//
+// SyncFence (legacy) closes and opens epochs with full-group fences. The
+// fence's dissemination barrier prices as ceil(log2 n) latency rounds paid
+// by every member per refresh — the reason 256-rank makespan ticked up
+// even as holder stall hit zero.
+//
+// SyncPSCW (default) synchronises only the (holder, buddy) pairs with
+// general active-target sync: at each open every rank posts its windows to
+// its ring predecessor (the origin that will Put into it), starts toward
+// its successor, and Puts its slab; at the next close it completes toward
+// the successor and waits on the predecessor, settling that pair's epoch
+// with two 8-byte control messages instead of a butterfly. Ordering rules
+// the pairwise protocol needs:
+//
+//   - open posts every array's window before starting any: a rank whose
+//     start fails (dead successor) abandons the open, and had it not
+//     already posted, its live predecessor would hang in a start.
+//   - close completes every array before waiting on any: completion
+//     notifications must all be out before this rank can abandon in a
+//     failed wait, or a live successor would hang in its wait.
+//   - failure observation is pairwise-local (only the dead rank's ring
+//     neighbours see an error mid-refresh), which is exactly the runtime's
+//     asymmetric-detection contract: the next cycle boundary's collective
+//     fails for everyone and recovery converges there (failure.go).
+//
+// SyncAdaptive runs the same PSCW handshake every refresh but lets each
+// holder pick, per refresh, between the deferred one-sided Put (wire
+// hidden behind the next cycle of computation, one-cycle staleness) and an
+// immediate paired send/recv (fresher replica, paid stall) — chosen from
+// its measured cycle span against the wire time of its incoming slab. The
+// verdict rides in-band as the post notification's note, so both ends of
+// the pair agree without a global agreement step (a per-refresh allreduce
+// would cost the very butterfly PSCW removes). Clocks differ per rank
+// under competing-process load, so the verdict is per-pair by
+// construction, not per-group.
+//
+// Epoch/visibility discipline (fence mode; PSCW replaces each fence with
+// its pairwise counterpart):
 //
 //   - open: attach stage, fence, Put. The opening fence is the write
 //     barrier that orders every origin's next-epoch Put after every
 //     owner's close-time promotion of the previous stage — without it the
-//     promotion copy would race a fast predecessor's next Put.
+//     promotion copy would race a fast predecessor's next Put. Under PSCW
+//     the owner's post is that barrier: the predecessor cannot Put until
+//     its start consumes this rank's post, which follows the promotion in
+//     program order.
 //   - close: fence (settles this rank's deposits), then promote stage to
 //     the committed replica. Promotion is host-only bookkeeping: the
 //     modelled deposit already landed by one-sided DMA, so no virtual
@@ -35,14 +78,18 @@ import (
 //     precisely the cost this mode saves).
 //   - failure: the fence returns *mpi.RankFailedError and settles nothing.
 //     Only a *dead* predecessor's deposit may be adopted (its goroutine is
-//     gone, so the stage cannot be concurrently written): PendingFrom
-//     answers deterministically whether its Put landed in full — a crash
-//     fires at operation entry, so a Put either ran to completion or never
-//     started. A live predecessor's deposit is abandoned (the replica
-//     keeps its previous commit), and the windows are discarded and
-//     rebuilt on the post-recovery group.
+//     gone, so the stage cannot be concurrently written): PendingFrom —
+//     PendingPSCW under pairwise sync — answers deterministically whether
+//     its Put landed in full — a crash fires at operation entry, so a Put
+//     either ran to completion or never started. A live predecessor's
+//     deposit is abandoned (the replica keeps its previous commit), and
+//     the windows are discarded and rebuilt on the post-recovery group.
 //
-// Redistribution (Config.RedistMode == RedistRMA): see rmaRedistArray.
+// Redistribution (Config.RedistMode == RedistRMA): see rmaRedistArray. A
+// grow or rejoin redistribution additionally routes transfers bound for
+// resized-in ranks through Get under PSCW — the joiner pulls its slabs
+// from the owners instead of the owners pushing them — see
+// rmaFetchArray.
 
 // repRange is the row range an open replica epoch will commit.
 type repRange struct {
@@ -69,13 +116,56 @@ func (rt *Runtime) Finish() {
 // accounting the receive-side stall it cost.
 func (rt *Runtime) refreshReplicasNow() {
 	if rt.cfg.ReplicaRMA {
+		// The adaptive verdict compares the computation window between
+		// refresh points against the slab wire time, so the span must be
+		// measured from the END of the previous refresh to the ENTRY of
+		// this one — including the close's settle stall in the span would
+		// inflate it by exactly the stall the verdict is trying to avoid,
+		// and the verdict could never flip to paired sends.
+		rt.repSpan = rt.node.Now().Sub(rt.repMark)
+		rt.repSpanOK = rt.repMarked
 		rt.closeReplicaEpoch()
 		rt.openReplicaEpoch()
+		rt.repMark = rt.node.Now()
+		rt.repMarked = true
 		return
 	}
 	stall0 := rt.comm.RecvStall
 	rt.refreshReplicas()
 	rt.replicaStall += rt.comm.RecvStall - stall0
+}
+
+// Adaptive-mode verdicts, carried in-band as the post notification's note:
+// the holder of the incoming slab decides how its predecessor should ship
+// this epoch and the predecessor obeys the note its start returns.
+const (
+	notePut  int64 = 0 // deferred one-sided Put, settled at the next close
+	noteSend int64 = 1 // immediate paired send, committed inside the open
+)
+
+// replicaWire prices the wire time of one replica refresh of `rows` rows
+// across every dense array — the threshold the adaptive verdict compares
+// the measured cycle span against: a span shorter than this cannot hide
+// the deferred Put, so the holder asks for an immediate paired slab.
+func (rt *Runtime) replicaWire(rows int) vclock.Duration {
+	net := rt.comm.World().Cluster().Net()
+	var d vclock.Duration
+	for _, name := range rt.order {
+		a := rt.arrays[name]
+		if a.dense == nil {
+			continue
+		}
+		bytes := float64(rows) * float64(a.dense.RowBytes())
+		d += net.Latency + vclock.FromSeconds(bytes/net.BytesPerSec)
+	}
+	return d
+}
+
+// AdaptiveRefreshModes reports how many adaptive refreshes chose the
+// deferred Put and how many the immediate paired send. Zero outside
+// SyncAdaptive.
+func (rt *Runtime) AdaptiveRefreshModes() (put, send int) {
+	return rt.adaptPut, rt.adaptSend
 }
 
 // openReplicaEpoch exposes this rank's staging buffers and Puts its owned
@@ -102,6 +192,7 @@ func (rt *Runtime) openReplicaEpoch() {
 		return
 	}
 	stall0 := rt.comm.RecvStall
+	defer func() { rt.replicaStall += rt.comm.RecvStall - stall0 }()
 	if !equalInts(rt.repRanks, ranks) {
 		// Membership changed (or first open): discard whatever is pending
 		// on the abandoned windows, then register fresh ones on the new
@@ -128,39 +219,111 @@ func (rt *Runtime) openReplicaEpoch() {
 	}
 	plo, phi := rt.dist.RangeOf(rt.repPrev)
 	lo, hi := rt.dist.RangeOf(me)
+
+	if rt.cfg.ReplicaSync == SyncFence {
+		for _, name := range rt.order {
+			a := rt.arrays[name]
+			if a.dense == nil {
+				continue
+			}
+			win := rt.repWins[name]
+			rt.stageReplica(a, phi-plo)
+			rt.comm.WinAttach(win, mpi.FlatMem(rt.replicas[name].stage))
+			// The opening fence publishes the attach and orders this epoch's
+			// remote Puts after every member's close of the previous one.
+			if err := rt.comm.FenceErr(win); err != nil {
+				// A member died before the epoch could open. Leave it closed;
+				// recovery at the next cycle boundary rebuilds the windows.
+				rt.absorbDead(rt.deadOf(err))
+				rt.repRanks = rt.repRanks[:0]
+				return
+			}
+			rt.repPend[name] = repRange{lo: plo, hi: phi}
+			if hi > lo {
+				// Origin-side injection: the same packing touches and Put CPU a
+				// paired sender pays — the saving is entirely holder-side.
+				slab := getDenseSlab(hi-lo, a.dense.RowLen)
+				a.dense.CopyRowsTo(slab.data, lo, hi)
+				for g := lo; g < hi; g++ {
+					rt.node.ChargeTouch(a.dense.RowBytes())
+				}
+				rt.comm.Put(win, rt.repNext, 0, slab.data)
+				putDenseSlab(slab)
+			}
+		}
+		rt.repOpen = true
+		return
+	}
+
+	// Pairwise open. The adaptive verdict is computed first — it rides on
+	// every post notification this rank sends its predecessor.
+	note := notePut
+	if rt.cfg.ReplicaSync == SyncAdaptive {
+		if rt.repSpanOK && rt.repSpan < rt.replicaWire(phi-plo) {
+			note = noteSend
+		}
+		if note == noteSend {
+			rt.adaptSend++
+		} else {
+			rt.adaptPut++
+		}
+	}
+
+	// Loop 1: attach and post every array's window toward the predecessor
+	// before starting any — a rank that abandons in loop 2 (dead successor)
+	// must already have posted everything its live predecessor will start
+	// toward, or that predecessor would hang (see the file comment).
 	for _, name := range rt.order {
 		a := rt.arrays[name]
 		if a.dense == nil {
 			continue
 		}
 		win := rt.repWins[name]
-		rep := rt.replicas[name]
-		if rep == nil {
-			rep = &replica{}
-			rt.replicas[name] = rep
+		rt.stageReplica(a, phi-plo)
+		rt.comm.WinAttach(win, mpi.FlatMem(rt.replicas[name].stage))
+		// The post is this epoch's write barrier: the predecessor cannot Put
+		// until its start consumes it, and it follows this rank's close-time
+		// promotion of the previous stage in program order.
+		rt.comm.WinPost(win, []int{rt.repPrev}, note)
+	}
+
+	// Loop 2: start toward the successor and ship this rank's slab the way
+	// the successor's note asks for.
+	var peerNote [1]int64
+	for _, name := range rt.order {
+		a := rt.arrays[name]
+		if a.dense == nil {
+			continue
 		}
-		n := (phi - plo) * a.dense.RowLen
-		if cap(rep.stage) < n {
-			rep.stage = make([]float64, n)
-		} else {
-			rep.stage = rep.stage[:n]
-		}
-		rt.comm.WinAttach(win, mpi.FlatMem(rep.stage))
-		// The opening fence publishes the attach and orders this epoch's
-		// remote Puts after every member's close of the previous one.
-		if err := rt.comm.FenceErr(win); err != nil {
-			// A member died before the epoch could open. Leave it closed;
-			// recovery at the next cycle boundary rebuilds the windows.
+		win := rt.repWins[name]
+		if err := rt.comm.WinStartErr(win, []int{rt.repNext}, peerNote[:]); err != nil {
+			// The successor died before posting. Abandon the open — the
+			// epoch never opens (repOpen stays false), and the exposures
+			// already posted settle nothing: the next open observes the
+			// membership change, discards any deposit a live predecessor
+			// lands meanwhile, and rebuilds the windows. Waiting on the
+			// predecessor here instead would deadlock: its completion only
+			// arrives at its next refresh point, beyond the failed
+			// collective this rank must still reach.
 			rt.absorbDead(rt.deadOf(err))
 			rt.repRanks = rt.repRanks[:0]
-			rt.replicaStall += rt.comm.RecvStall - stall0
 			return
 		}
 		rt.repPend[name] = repRange{lo: plo, hi: phi}
-		if hi > lo {
-			// Origin-side injection: the same packing touches and Put CPU a
-			// paired sender pays — the saving is entirely holder-side.
-			slab := getDenseSlab(hi-lo, a.dense.RowLen)
+		rows := hi - lo
+		if peerNote[0] == noteSend {
+			// The successor's cycles are too short to hide the wire: ship an
+			// immediate paired slab (refreshReplicas wire form); it receives
+			// and commits before leaving its own open.
+			slab := getDenseSlab(rows, a.dense.RowLen)
+			a.dense.CopyRowsTo(slab.data, lo, hi)
+			for g := lo; g < hi; g++ {
+				rt.node.ChargeTouch(a.dense.RowBytes())
+			}
+			rt.comm.Send(rt.repNext, tagAdaptive+a.index,
+				replicaSlab{lo: lo, hi: hi, data: slab}, 16+rows*int(a.dense.RowBytes()))
+		} else if rows > 0 {
+			slab := getDenseSlab(rows, a.dense.RowLen)
 			a.dense.CopyRowsTo(slab.data, lo, hi)
 			for g := lo; g < hi; g++ {
 				rt.node.ChargeTouch(a.dense.RowBytes())
@@ -169,8 +332,60 @@ func (rt *Runtime) openReplicaEpoch() {
 			putDenseSlab(slab)
 		}
 	}
+
+	rt.repDirect = note == noteSend
+	if rt.repDirect {
+		// This rank asked its predecessor for immediate paired slabs:
+		// receive and commit them now, exactly as the paired refresh would
+		// (receive CPU plus commit touches) — the freshness this verdict
+		// buys is paid for with the stall the Put path hides.
+		for _, name := range rt.order {
+			a := rt.arrays[name]
+			if a.dense == nil {
+				continue
+			}
+			p, _, err := rt.comm.RecvErr(rt.repPrev, tagAdaptive+a.index)
+			if err != nil {
+				// Keep the stale replica; recovery handles the death.
+				rt.absorbDead(rt.deadOf(err))
+				continue
+			}
+			rs, ok := p.(replicaSlab)
+			if !ok {
+				panic(fmt.Sprintf("core: bad adaptive replica payload for %q", name))
+			}
+			rep := rt.replicas[name]
+			n := (rs.hi - rs.lo) * a.dense.RowLen
+			if cap(rep.data) < n {
+				rep.data = make([]float64, n)
+			} else {
+				rep.data = rep.data[:n]
+			}
+			copy(rep.data, rs.data.data[:n])
+			rep.lo, rep.hi = rs.lo, rs.hi
+			for g := rs.lo; g < rs.hi; g++ {
+				rt.node.ChargeTouch(a.dense.RowBytes())
+			}
+			putDenseSlab(rs.data)
+		}
+	}
 	rt.repOpen = true
-	rt.replicaStall += rt.comm.RecvStall - stall0
+}
+
+// stageReplica (re)sizes array a's staging buffer for an incoming deposit
+// of `rows` rows, creating the replica record on first use.
+func (rt *Runtime) stageReplica(a *regArray, rows int) {
+	rep := rt.replicas[a.name]
+	if rep == nil {
+		rep = &replica{}
+		rt.replicas[a.name] = rep
+	}
+	n := rows * a.dense.RowLen
+	if cap(rep.stage) < n {
+		rep.stage = make([]float64, n)
+	} else {
+		rep.stage = rep.stage[:n]
+	}
 }
 
 // closeReplicaEpoch settles the replica epoch left open by the last
@@ -184,30 +399,82 @@ func (rt *Runtime) closeReplicaEpoch() {
 	rt.repOpen = false
 	stall0 := rt.comm.RecvStall
 	failed := false
-	for _, name := range rt.order {
-		a := rt.arrays[name]
-		if a.dense == nil {
-			continue
-		}
-		win := rt.repWins[name]
-		rep := rt.replicas[name]
-		pend := rt.repPend[name]
-		if err := rt.comm.FenceErr(win); err != nil {
-			failed = true
-			rt.absorbDead(rt.deadOf(err))
-			adopt := false
-			if !rt.comm.World().Alive(rt.repPrev) {
-				want := (pend.hi - pend.lo) * a.dense.RowLen
-				elems, ok := rt.comm.PendingFrom(win, rt.repPrev)
-				adopt = want == 0 || (ok && elems == want)
+	if rt.cfg.ReplicaSync == SyncFence {
+		for _, name := range rt.order {
+			a := rt.arrays[name]
+			if a.dense == nil {
+				continue
 			}
-			rt.comm.DiscardPending(win)
-			if adopt {
+			win := rt.repWins[name]
+			rep := rt.replicas[name]
+			pend := rt.repPend[name]
+			if err := rt.comm.FenceErr(win); err != nil {
+				failed = true
+				rt.absorbDead(rt.deadOf(err))
+				adopt := false
+				if !rt.comm.World().Alive(rt.repPrev) {
+					want := (pend.hi - pend.lo) * a.dense.RowLen
+					elems, ok := rt.comm.PendingFrom(win, rt.repPrev)
+					adopt = want == 0 || (ok && elems == want)
+				}
+				rt.comm.DiscardPending(win)
+				if adopt {
+					rt.promoteReplica(a, rep, pend)
+				}
+				continue
+			}
+			rt.promoteReplica(a, rep, pend)
+		}
+	} else {
+		// Pairwise close. Loop 1: complete toward the successor for every
+		// array before waiting on any — all completion notifications must be
+		// out before this rank can block (or abandon) in a wait, or a live
+		// successor would hang in its own wait (see the file comment).
+		for _, name := range rt.order {
+			a := rt.arrays[name]
+			if a.dense == nil {
+				continue
+			}
+			if err := rt.comm.WinCompleteErr(rt.repWins[name]); err != nil {
+				// The successor died: this rank's deposits are gone with it.
+				// Nothing to settle on this side; the wait loop still runs.
+				failed = true
+				rt.absorbDead(rt.deadOf(err))
+			}
+		}
+		// Loop 2: wait on the predecessor's completion, settling the pair's
+		// epoch, and promote the staged deposit.
+		for _, name := range rt.order {
+			a := rt.arrays[name]
+			if a.dense == nil {
+				continue
+			}
+			win := rt.repWins[name]
+			rep := rt.replicas[name]
+			pend := rt.repPend[name]
+			if err := rt.comm.WinWaitErr(win); err != nil {
+				failed = true
+				rt.absorbDead(rt.deadOf(err))
+				// Same adoption protocol as the failed fence, with the
+				// pairwise pending probe; an adaptive epoch whose slabs
+				// arrived paired has already committed (repDirect) and has
+				// nothing staged to adopt.
+				adopt := false
+				if !rt.comm.World().Alive(rt.repPrev) && !rt.repDirect {
+					want := (pend.hi - pend.lo) * a.dense.RowLen
+					elems, ok := rt.comm.PendingPSCW(win, rt.repPrev)
+					adopt = want == 0 || (ok && elems == want)
+				}
+				rt.comm.DiscardPending(win)
+				if adopt {
+					rt.promoteReplica(a, rep, pend)
+				}
+				continue
+			}
+			if !rt.repDirect {
 				rt.promoteReplica(a, rep, pend)
 			}
-			continue
 		}
-		rt.promoteReplica(a, rep, pend)
 	}
 	if failed {
 		// Abandon the windows: the group lost a member, so no further epoch
@@ -309,7 +576,7 @@ func (rt *Runtime) redistWinFor(a *regArray) *mpi.Win {
 // handled in full: a marker exchange restores the ordering the fence
 // would have provided, live senders' rows are kept, and a dead sender's
 // rows are kept only when PendingFrom proves its Puts landed completely.
-func (rt *Runtime) rmaRedistArray(a *regArray, sched []drsd.Transfer, newDist *drsd.Block, outs []redistOut, mv *telemetry.ArrayMove, bytesMoved *int64) (bool, bool) {
+func (rt *Runtime) rmaRedistArray(a *regArray, sched []drsd.Transfer, newDist *drsd.Block, outs []redistOut, mv *telemetry.ArrayMove, sent, recv *int64) (bool, bool) {
 	me := rt.comm.Rank()
 	win := rt.redistWinFor(a)
 	nlo, nhi := newDist.RangeOf(me)
@@ -329,13 +596,13 @@ func (rt *Runtime) rmaRedistArray(a *regArray, sched []drsd.Transfer, newDist *d
 		m.dense = nil
 		mv.Rows += m.rows
 		mv.Bytes += int64(m.bytes)
-		*bytesMoved += int64(m.bytes)
+		*sent += int64(m.bytes)
 	}
 	err := rt.comm.FenceErr(win)
 	if err == nil {
 		for _, tr := range sched {
 			if tr.To == me {
-				*bytesMoved += int64(tr.Hi-tr.Lo) * a.dense.RowBytes()
+				*recv += int64(tr.Hi-tr.Lo) * a.dense.RowBytes()
 			}
 		}
 		return true, false
@@ -374,7 +641,7 @@ func (rt *Runtime) rmaRedistArray(a *regArray, sched []drsd.Transfer, newDist *d
 		}
 		if tr.From == me {
 			// This rank's own Put ran to completion by definition.
-			*bytesMoved += int64(tr.Hi-tr.Lo) * a.dense.RowBytes()
+			*recv += int64(tr.Hi-tr.Lo) * a.dense.RowBytes()
 			continue
 		}
 		keep := synced[tr.From]
@@ -397,7 +664,7 @@ func (rt *Runtime) rmaRedistArray(a *regArray, sched []drsd.Transfer, newDist *d
 			keep = kept[tr.From]
 		}
 		if keep {
-			*bytesMoved += int64(tr.Hi-tr.Lo) * a.dense.RowBytes()
+			*recv += int64(tr.Hi-tr.Lo) * a.dense.RowBytes()
 		} else {
 			rt.loseRows(a, tr.Lo, tr.Hi)
 		}
@@ -405,6 +672,142 @@ func (rt *Runtime) rmaRedistArray(a *regArray, sched []drsd.Transfer, newDist *d
 	rt.comm.DiscardPending(win)
 	rt.redistGroup = nil
 	return true, true
+}
+
+// fetchWinFor returns the one-sided window joiner fetch uses for array a,
+// distinct from the redistribution windows because the two expose
+// different memories: the redistribution window exposes a receiver's
+// resident rows for Puts, the fetch window exposes a source's packed
+// outgoing slabs for Gets. Creation mirrors redistWinFor — every group
+// member registers the per-array windows in rt.order the first time the
+// group needs them, so the k-th WinCreate of each member meets on the
+// same window.
+func (rt *Runtime) fetchWinFor(a *regArray) *mpi.Win {
+	if rt.fetchGroup != rt.group {
+		rt.fetchGroup = rt.group
+		rt.fetchWins = make(map[string]*mpi.Win, len(rt.order))
+		for _, name := range rt.order {
+			if rt.arrays[name].dense == nil {
+				continue
+			}
+			rt.fetchWins[name] = rt.comm.WinCreate(rt.group, nil)
+		}
+	}
+	return rt.fetchWins[a.name]
+}
+
+// rmaFetchArray moves one dense array's joiner-bound transfers with Get
+// under PSCW: each source exposes its packed outgoing slabs (fbuf, laid
+// out in schedule order) and posts to the joiners pulling from it; each
+// joiner runs one pairwise epoch per source — start, Get each of its rows
+// at offsets both sides derive from the same schedule, complete — and the
+// source's wait then settles the handshake. Established owners never
+// stall in a per-joiner serve loop (the joiner pays the Get landing at
+// its completion), and failure isolation is pairwise: a joiner that finds
+// a source dead loses exactly that source's rows and keeps pulling from
+// the rest. Every group member calls this when the schedule routes any
+// transfer to a resized-in rank — the window registration must meet
+// collectively — and non-participants return after registering.
+func (rt *Runtime) rmaFetchArray(a *regArray, sched []drsd.Transfer, newDist *drsd.Block, newcomer map[int]bool, fetchOuts []redistOut, fbuf []float64, mv *telemetry.ArrayMove, sent, recv *int64) {
+	me := rt.comm.Rank()
+	fwin := rt.fetchWinFor(a)
+	rl := a.dense.RowLen
+
+	if len(fetchOuts) > 0 {
+		// Source: expose the packed slabs, post to the pulling joiners, and
+		// wait out their completions. The joiners' Gets read the exposed
+		// buffer while this rank sits in the wait, so fbuf must not be
+		// touched until the wait returns (the next array's packing reuses
+		// it — strictly after this).
+		rt.comm.WinAttach(fwin, mpi.FlatMem(fbuf))
+		var fetchers []int
+		for i := range fetchOuts {
+			m := &fetchOuts[i]
+			seen := false
+			for _, f := range fetchers {
+				if f == m.to {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				fetchers = append(fetchers, m.to)
+			}
+			mv.Rows += m.rows
+			mv.Bytes += int64(m.bytes)
+			*sent += int64(m.bytes)
+		}
+		rt.comm.WinPost(fwin, fetchers, 0)
+		if err := rt.comm.WinWaitErr(fwin); err != nil {
+			// A joiner died mid-pull; its pairwise epoch can never settle.
+			// Its rows die with it either way — drop the handshake state.
+			rt.absorbDead(rt.deadOf(err))
+			rt.comm.DiscardPending(fwin)
+		}
+		return
+	}
+
+	if !newcomer[me] {
+		return
+	}
+	// Joiner: pull from each source in one pairwise epoch per source, in
+	// schedule order (the same order every rank derives).
+	nlo, nhi := newDist.RangeOf(me)
+	wlo, _ := drsd.Window(a.accesses, nlo, nhi, rt.n)
+	type pull struct {
+		lo, hi int
+		slab   *denseSlab
+	}
+	var pulls []pull
+	started := map[int]bool{}
+	for _, tr := range sched {
+		if tr.To != me || started[tr.From] {
+			continue
+		}
+		s := tr.From
+		started[s] = true
+		var note [1]int64
+		if err := rt.comm.WinStartErr(fwin, []int{s}, note[:]); err != nil {
+			// The source died before posting: its rows cannot be pulled.
+			// Pairwise isolation — only this source's transfers are lost.
+			rt.absorbDead(rt.deadOf(err))
+			for _, t2 := range sched {
+				if t2.To == me && t2.From == s {
+					rt.loseRows(a, t2.Lo, t2.Hi)
+				}
+			}
+			continue
+		}
+		pulls = pulls[:0]
+		off := 0
+		for _, t2 := range sched {
+			if t2.From != s || !newcomer[t2.To] {
+				continue
+			}
+			rows := t2.Hi - t2.Lo
+			if t2.To == me {
+				slab := getDenseSlab(rows, rl)
+				rt.comm.Get(fwin, s, off, slab.data)
+				pulls = append(pulls, pull{lo: t2.Lo, hi: t2.Hi, slab: slab})
+			}
+			off += rows * rl
+		}
+		if err := rt.comm.WinCompleteErr(fwin); err != nil {
+			// The source died after posting. The Gets captured their payload
+			// at call time, so the rows are good: absorb the death, drop the
+			// handshake state the completion could not settle, commit anyway.
+			rt.absorbDead(rt.deadOf(err))
+			rt.comm.DiscardPending(fwin)
+		}
+		for _, p := range pulls {
+			// Raw landing into the resident window — one-sided DMA, priced
+			// by the Get settlement at completion, exactly like a pushed
+			// Put's landing (no per-row commit touches).
+			denseWinMem{d: a.dense, wlo: wlo}.WriteAt((p.lo-wlo)*rl, p.slab.data)
+			*recv += int64(p.hi-p.lo) * a.dense.RowBytes()
+			putDenseSlab(p.slab)
+		}
+	}
 }
 
 func equalInts(a, b []int) bool {

@@ -24,6 +24,8 @@ type rmaResult struct {
 	stall     vclock.Duration
 	lost      int
 	recovered int
+	adaptPut  int
+	adaptSend int
 }
 
 // runRMAMini is runMini with the hooks the one-sided suites need: it
@@ -67,6 +69,7 @@ func runRMAMini(t *testing.T, spec cluster.Spec, cfg Config, n, rowLen, cycles i
 			stall:     rt.ReplicaStall(),
 			recovered: rt.RecoveredRows(),
 		}
+		res.adaptPut, res.adaptSend = rt.AdaptiveRefreshModes()
 		for _, lr := range rt.LostRows() {
 			res.lost += lr.Hi - lr.Lo
 		}

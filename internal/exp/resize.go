@@ -106,13 +106,11 @@ func RunResize(o ResizeOptions) (*ResizeResult, error) {
 		for _, st := range r.Stats {
 			for _, ev := range st.Events {
 				if ev.Kind == core.EvRedistEnd {
-					bytes += ev.Bytes
+					bytes += ev.BytesSent
 				}
 			}
 		}
-		// A rank's EvRedistEnd.Bytes counts its sent and received payloads,
-		// so the cross-rank sum sees every wire byte twice.
-		return float64(bytes) / 2 / 1e6
+		return float64(bytes) / 1e6
 	}
 	// A restart reloads the full working set (both ping-pong buffers) over
 	// the wire of the new world; the cost model is the cluster's own.

@@ -2,7 +2,7 @@ package exp
 
 import "repro/internal/sweep"
 
-// DefaultSweepOptions returns the CI smoke sweep: the 64-cell
+// DefaultSweepOptions returns the CI smoke sweep: the 96-cell
 // sweep.Smoke() grid advanced by a 4-wide worker pool. The pool width
 // affects only wall-clock time — the report is byte-identical for any
 // Jobs value.

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -46,6 +47,31 @@ import (
 // with DiscardPending before abandoning it. Put and Get on a target
 // already marked dead deposit nothing; the death is reported at the fence.
 //
+// General active-target synchronization (PSCW) is the pairwise alternative
+// to the fence: WinPost declares which origins may access this rank's
+// window, WinStartErr blocks the origin until every named target has
+// posted, WinCompleteErr closes the origin's access epoch (notifying each
+// target and settling the origin's own Get landings), and WinWaitErr
+// blocks the target until every posted origin has completed, then settles
+// their deposits with the exact fence arithmetic. Only the participating
+// pairs synchronise — each post and each complete is one small control
+// message riding the ordinary mailbox, so an epoch over k pairs prices as
+// k round-trips instead of a full-group dissemination barrier (see
+// cost.go). Deposits made under an open access epoch are stamped with the
+// origin's PSCW epoch counter and are invisible to fences; a window may
+// use either discipline, or both for disjoint transfers.
+//
+// PSCW failure contract, symmetric with FenceErr: a dead target fails the
+// origin's WinStartErr or WinCompleteErr, a dead origin fails the target's
+// WinWaitErr, and no call can hang (control receives use the bounded-wait
+// failure detection of RecvErr; completion notifications go out to every
+// live target before WinCompleteErr reports the dead ones, so surviving
+// peers always unblock). A failed wait settles nothing; the target may
+// inspect a dead origin's deposits with PendingPSCW and must DiscardPending
+// before abandoning the window. Windows of different groups must not run
+// overlapping PSCW epochs on a shared rank pair — the same per-communicator
+// epoch discipline MPI imposes.
+//
 // Memory visibility: deposits mutate the target's memory at call time,
 // under the target slot's mutex. The owner must not access the exposed
 // range while an epoch in which remote ranks deposit is open — the same
@@ -89,10 +115,11 @@ type deposit struct {
 	elems      int
 	bytes      int
 	get        bool        // origin-side landing of a Get (owner pays the CPU copy)
+	pscw       bool        // stamped under an open PSCW access epoch; settled by wait/complete, never by a fence
 	post       vclock.Time // origin clock when the transfer was injected
 	avail      vclock.Time // when the data has fully arrived
 	seq        int64       // per-origin program order, for deterministic ties
-	epoch      int64       // epoch the transfer belongs to
+	epoch      int64       // epoch the transfer belongs to (fence or PSCW counter, per pscw)
 }
 
 // winSlot is one member's side of a window: its attached memory and the
@@ -122,16 +149,28 @@ type Win struct {
 	// next epoch's Puts while the owner is still settling this one.
 	epoch  []int64
 	putSeq []int64
+
+	// PSCW state, the pairwise analogue of epoch: accEpoch[s] is member
+	// s's access-epoch counter (advanced by its own WinCompleteErr),
+	// access[s] the open access epoch's target list and expose[s] the open
+	// exposure epoch's origin list. All three are written only by member
+	// s's goroutine, like epoch/putSeq.
+	accEpoch []int64
+	access   [][]int
+	expose   [][]int
 }
 
 func newWin(g *Group, id int) *Win {
 	n := len(g.members)
 	return &Win{
-		g:      g,
-		id:     id,
-		slots:  make([]winSlot, n),
-		epoch:  make([]int64, n),
-		putSeq: make([]int64, n),
+		g:        g,
+		id:       id,
+		slots:    make([]winSlot, n),
+		epoch:    make([]int64, n),
+		putSeq:   make([]int64, n),
+		accEpoch: make([]int64, n),
+		access:   make([][]int, n),
+		expose:   make([][]int, n),
 	}
 }
 
@@ -201,6 +240,11 @@ func (c *Comm) Put(win *Win, target, off int, src []float64) {
 	c.SentBytes += int64(bytes)
 	oslot := c.groupSlot(g)
 	win.putSeq[oslot]++
+	pscw := len(win.access[oslot]) > 0
+	ep := win.epoch[oslot]
+	if pscw {
+		ep = win.accEpoch[oslot]
+	}
 	ts := &win.slots[tslot]
 	ts.mu.Lock()
 	if c.w.deadCount.Load() > 0 && c.w.dead[target].Load() {
@@ -221,10 +265,11 @@ func (c *Comm) Put(win *Win, target, off int, src []float64) {
 		off:        off,
 		elems:      len(src),
 		bytes:      bytes,
+		pscw:       pscw,
 		post:       post,
 		avail:      post.Add(wireTime(net, bytes) + faultDelay),
 		seq:        win.putSeq[oslot],
-		epoch:      win.epoch[oslot],
+		epoch:      ep,
 	})
 	ts.mu.Unlock()
 }
@@ -253,6 +298,11 @@ func (c *Comm) Get(win *Win, target, off int, dst []float64) {
 	post := c.node.Now()
 	oslot := c.groupSlot(g)
 	win.putSeq[oslot]++
+	pscw := len(win.access[oslot]) > 0
+	ep := win.epoch[oslot]
+	if pscw {
+		ep = win.accEpoch[oslot]
+	}
 	ts := &win.slots[tslot]
 	ts.mu.Lock()
 	if c.w.deadCount.Load() > 0 && c.w.dead[target].Load() {
@@ -267,7 +317,8 @@ func (c *Comm) Get(win *Win, target, off int, dst []float64) {
 		ts.mem.ReadAt(off, dst)
 	}
 	ts.mu.Unlock()
-	// The landing settles at the origin's own fence: a self-deposit.
+	// The landing settles at the origin's own epoch close (fence or
+	// complete): a self-deposit.
 	os := &win.slots[oslot]
 	os.mu.Lock()
 	os.dep = append(os.dep, deposit{
@@ -276,10 +327,11 @@ func (c *Comm) Get(win *Win, target, off int, dst []float64) {
 		elems:      len(dst),
 		bytes:      bytes,
 		get:        true,
+		pscw:       pscw,
 		post:       post,
 		avail:      post.Add(net.Latency + wireTime(net, bytes) + faultDelay),
 		seq:        win.putSeq[oslot],
-		epoch:      win.epoch[oslot],
+		epoch:      ep,
 	})
 	os.mu.Unlock()
 }
@@ -308,14 +360,34 @@ func (c *Comm) FenceErr(win *Win) error {
 	ep := win.epoch[slot]
 	ts := &win.slots[slot]
 	ts.mu.Lock()
+	// PSCW-stamped deposits belong to a pairwise epoch and are settled by
+	// WinWaitErr/WinCompleteErr, never by a fence.
+	drain := extractDeposits(ts, func(d *deposit) bool { return d.epoch == ep && !d.pscw })
+	ts.mu.Unlock()
+	sortDeposits(drain)
+	bytes, stall, hidden := c.settleDeposits(drain)
+	ts.drain = drain
+	win.epoch[slot] = ep + 1
+	if len(drain) > 0 {
+		c.emitRMA("fence", win.id, len(drain), bytes, stall, hidden)
+	}
+	return nil
+}
+
+// extractDeposits moves every deposit matching match out of ts.dep into the
+// returned slice (backed by ts.drain's array), compacting the rest in place
+// and zeroing the dropped tail. A deposit that does not match stays for a
+// later settlement — e.g. a faster origin already opened the next epoch, or
+// the transfer belongs to the other synchronization discipline. Caller
+// holds ts.mu and must store the result back into ts.drain after settling.
+func extractDeposits(ts *winSlot, match func(*deposit) bool) []deposit {
 	drain := ts.drain[:0]
 	keep := ts.dep[:0]
-	for _, d := range ts.dep {
-		if d.epoch == ep {
+	for i := range ts.dep {
+		d := ts.dep[i]
+		if match(&d) {
 			drain = append(drain, d)
 		} else {
-			// A faster origin already passed this fence and opened the next
-			// epoch; its deposits stay for the next settlement.
 			keep = append(keep, d)
 		}
 	}
@@ -324,11 +396,18 @@ func (c *Comm) FenceErr(win *Win) error {
 		ts.dep[i] = deposit{}
 	}
 	ts.dep = keep
-	ts.mu.Unlock()
-	sortDeposits(drain)
+	return drain
+}
+
+// settleDeposits drains one epoch's worth of deposits on the caller's
+// clock: each is stalled to arrival if still in flight (Get landings
+// additionally pay the landing CPU), counted into the receive counters, and
+// wire time already covered by the caller's computation is credited to
+// HiddenWire. The arithmetic is shared verbatim between fence and PSCW
+// settlement — the disciplines differ only in who synchronises, not in
+// what a drained deposit costs. The caller must sortDeposits first.
+func (c *Comm) settleDeposits(drain []deposit) (bytes int64, stall, hidden vclock.Duration) {
 	net := c.w.cl.Net()
-	var stall, hidden vclock.Duration
-	var bytes int64
 	for i := range drain {
 		d := &drain[i]
 		s := d.avail.Sub(c.node.Now())
@@ -351,12 +430,7 @@ func (c *Comm) FenceErr(win *Win) error {
 		}
 		bytes += int64(d.bytes)
 	}
-	ts.drain = drain
-	win.epoch[slot] = ep + 1
-	if len(drain) > 0 {
-		c.emitRMA(win.id, len(drain), bytes, stall, hidden)
-	}
-	return nil
+	return bytes, stall, hidden
 }
 
 // sortDeposits orders deposits by (arrival, origin slot, per-origin program
@@ -383,20 +457,254 @@ func depositLess(a, b *deposit) bool {
 
 // emitRMA emits an RMARecord for a settled epoch through the node's
 // telemetry sink, if one is attached.
-func (c *Comm) emitRMA(window, deposits int, bytes int64, stall, hidden vclock.Duration) {
+func (c *Comm) emitRMA(op string, window, deposits int, bytes int64, stall, hidden vclock.Duration) {
 	sink, st := c.node.Telemetry()
 	if sink == nil {
 		return
 	}
 	sink.Emit(telemetry.RMARecord{
 		Base:     st.Stamp(telemetry.KindRMA, -1, c.node.Now().Seconds()),
-		Op:       "fence",
+		Op:       op,
 		Window:   window,
 		Deposits: deposits,
 		Bytes:    bytes,
 		StallS:   stall.Seconds(),
 		HiddenS:  hidden.Seconds(),
 	})
+}
+
+// PSCW control messages ride the ordinary mailbox under reserved tags far
+// above the runtime's tag space (internal/core reserves 1<<20 and a few
+// KiB above it): the post and complete notifications for window w use
+// pscwTagBase+2*w.id and pscwTagBase+2*w.id+1. Windows of one group have
+// distinct ids, so their control traffic never cross-matches; windows of
+// different groups must not run overlapping PSCW epochs on a shared rank
+// pair (the header's epoch-discipline rule).
+const pscwTagBase = 1 << 26
+
+// pscwCtlBytes is the modelled size of a post or complete notification: one
+// int64 payload. Control messages are priced exactly as ordinary sends and
+// receives of this size — that identity is what makes the PSCW closed form
+// in cost.go trivially cross-validate against per-message simulation.
+const pscwCtlBytes = 8
+
+func (win *Win) pscwPostTag() int { return pscwTagBase + 2*win.id }
+func (win *Win) pscwDoneTag() int { return pscwTagBase + 2*win.id + 1 }
+
+// WinPost opens an exposure epoch: it declares that exactly origins may
+// access this rank's window until the matching WinWaitErr, and sends each
+// a post notification carrying note (delivered to its WinStartErr — a
+// side-band for pairwise protocol state, e.g. a transport-mode verdict).
+// The call does not block: posts to dead origins are dropped in delivery
+// and the deaths surface at the wait.
+func (c *Comm) WinPost(win *Win, origins []int, note int64) {
+	c.checkFailed()
+	slot := c.groupSlot(win.g)
+	if len(win.expose[slot]) != 0 {
+		panic(fmt.Sprintf("mpi: rank %d posting window %d with exposure epoch already open", c.rank, win.id))
+	}
+	for _, o := range origins {
+		if _, ok := win.g.slot[o]; !ok {
+			panic(fmt.Sprintf("mpi: post to rank %d outside window group", o))
+		}
+		if o == c.rank {
+			panic("mpi: post to self")
+		}
+		c.Send(o, win.pscwPostTag(), note, pscwCtlBytes)
+	}
+	win.expose[slot] = append(win.expose[slot][:0], origins...)
+}
+
+// WinStart opens an access epoch, failing the whole world when a target is
+// dead (mirroring the blocking collectives).
+func (c *Comm) WinStart(win *Win, targets []int, notes []int64) {
+	if err := c.WinStartErr(win, targets, notes); err != nil {
+		c.w.fail(fmt.Errorf("rank %d: %w", c.rank, err))
+		panic(errFailed)
+	}
+}
+
+// WinStartErr opens an access epoch toward targets: it blocks until every
+// named target's post notification arrives, then arms PSCW stamping so
+// subsequent Put/Get calls settle pairwise instead of at a fence. When
+// notes is non-nil it receives target i's post note at notes[i]. A dead
+// target fails the call with *RankFailedError (every remaining target's
+// post is still consumed, so no control message is left behind) and the
+// epoch does not open.
+func (c *Comm) WinStartErr(win *Win, targets []int, notes []int64) error {
+	c.checkFailed()
+	slot := c.groupSlot(win.g)
+	if len(win.access[slot]) != 0 {
+		panic(fmt.Sprintf("mpi: rank %d starting window %d with access epoch already open", c.rank, win.id))
+	}
+	var dead []int
+	for i, t := range targets {
+		if _, ok := win.g.slot[t]; !ok {
+			panic(fmt.Sprintf("mpi: start toward rank %d outside window group", t))
+		}
+		if t == c.rank {
+			panic("mpi: start toward self")
+		}
+		p, _, err := c.RecvErr(t, win.pscwPostTag())
+		if err != nil {
+			var rf *RankFailedError
+			if errors.As(err, &rf) {
+				dead = append(dead, rf.Ranks...)
+				continue
+			}
+			return err
+		}
+		if notes != nil {
+			notes[i] = p.(int64)
+		}
+	}
+	if dead != nil {
+		return &RankFailedError{Op: "win-start", Ranks: dead}
+	}
+	win.access[slot] = append(win.access[slot][:0], targets...)
+	return nil
+}
+
+// WinComplete closes the access epoch, failing the whole world when a
+// target is dead.
+func (c *Comm) WinComplete(win *Win) {
+	if err := c.WinCompleteErr(win); err != nil {
+		c.w.fail(fmt.Errorf("rank %d: %w", c.rank, err))
+		panic(errFailed)
+	}
+}
+
+// WinCompleteErr closes this rank's open access epoch: it notifies every
+// target that the epoch's transfers are in flight (one control message
+// each, carrying the epoch stamp the target's wait drains by), settles
+// this rank's own Get landings of the epoch, and advances the access-epoch
+// counter. A dead target fails the call with *RankFailedError — after
+// every live target has been notified, so surviving peers never hang —
+// without settling or advancing; the pending Get landings are left for
+// DiscardPending.
+func (c *Comm) WinCompleteErr(win *Win) error {
+	c.checkFailed()
+	slot := c.groupSlot(win.g)
+	targets := win.access[slot]
+	ep := win.accEpoch[slot]
+	var dead []int
+	for _, t := range targets {
+		if c.w.deadCount.Load() > 0 && c.w.dead[t].Load() {
+			dead = append(dead, t)
+			continue
+		}
+		c.Send(t, win.pscwDoneTag(), ep, pscwCtlBytes)
+	}
+	win.access[slot] = win.access[slot][:0]
+	if dead != nil {
+		return &RankFailedError{Op: "win-complete", Ranks: dead}
+	}
+	ts := &win.slots[slot]
+	ts.mu.Lock()
+	drain := extractDeposits(ts, func(d *deposit) bool {
+		return d.pscw && d.get && d.originSlot == slot && d.epoch == ep
+	})
+	ts.mu.Unlock()
+	sortDeposits(drain)
+	bytes, stall, hidden := c.settleDeposits(drain)
+	ts.drain = drain
+	win.accEpoch[slot] = ep + 1
+	if len(drain) > 0 {
+		c.emitRMA("pscw", win.id, len(drain), bytes, stall, hidden)
+	}
+	return nil
+}
+
+// WinWait closes the exposure epoch, failing the whole world when an
+// origin is dead.
+func (c *Comm) WinWait(win *Win) {
+	if err := c.WinWaitErr(win); err != nil {
+		c.w.fail(fmt.Errorf("rank %d: %w", c.rank, err))
+		panic(errFailed)
+	}
+}
+
+// WinWaitErr closes this rank's open exposure epoch: it blocks until every
+// posted origin's completion notification arrives, then drains and settles
+// the deposits those origins stamped — in the same deterministic (arrival,
+// origin, program order) order as a fence. A dead origin fails the call
+// with *RankFailedError without settling anything (the remaining live
+// origins' notifications are still consumed); see PendingPSCW and
+// DiscardPending for the recovery protocol. Either way the exposure epoch
+// is closed.
+func (c *Comm) WinWaitErr(win *Win) error {
+	c.checkFailed()
+	slot := c.groupSlot(win.g)
+	origins := win.expose[slot]
+	type doneStamp struct {
+		oslot int
+		epoch int64
+	}
+	stamps := make([]doneStamp, 0, 8)
+	var dead []int
+	for _, o := range origins {
+		p, _, err := c.RecvErr(o, win.pscwDoneTag())
+		if err != nil {
+			var rf *RankFailedError
+			if errors.As(err, &rf) {
+				dead = append(dead, rf.Ranks...)
+				continue
+			}
+			win.expose[slot] = win.expose[slot][:0]
+			return err
+		}
+		stamps = append(stamps, doneStamp{oslot: win.g.slot[o], epoch: p.(int64)})
+	}
+	win.expose[slot] = win.expose[slot][:0]
+	if dead != nil {
+		return &RankFailedError{Op: "win-wait", Ranks: dead}
+	}
+	ts := &win.slots[slot]
+	ts.mu.Lock()
+	drain := extractDeposits(ts, func(d *deposit) bool {
+		if !d.pscw || d.get {
+			return false
+		}
+		for _, st := range stamps {
+			if d.originSlot == st.oslot && d.epoch == st.epoch {
+				return true
+			}
+		}
+		return false
+	})
+	ts.mu.Unlock()
+	sortDeposits(drain)
+	bytes, stall, hidden := c.settleDeposits(drain)
+	ts.drain = drain
+	if len(drain) > 0 {
+		c.emitRMA("pscw", win.id, len(drain), bytes, stall, hidden)
+	}
+	return nil
+}
+
+// PendingPSCW reports the total elements Put into this rank's window slot
+// by origin under PSCW stamping, any epoch, and whether any such deposit
+// is present. It is the PSCW analogue of PendingFrom, meaningful after
+// WinWaitErr returned a *RankFailedError naming origin: with the
+// close-then-open discipline at most one pairwise epoch is in flight per
+// pair, so an epoch-agnostic count answers deterministically whether the
+// dead origin's transfer landed in full.
+func (c *Comm) PendingPSCW(win *Win, origin int) (elems int, ok bool) {
+	oslot, member := win.g.slot[origin]
+	if !member {
+		return 0, false
+	}
+	slot := c.groupSlot(win.g)
+	ts := &win.slots[slot]
+	ts.mu.Lock()
+	for i := range ts.dep {
+		if d := &ts.dep[i]; d.originSlot == oslot && d.pscw && !d.get {
+			elems += d.elems
+			ok = true
+		}
+	}
+	ts.mu.Unlock()
+	return elems, ok
 }
 
 // PendingFrom reports the total elements deposited into this rank's window
@@ -416,7 +724,7 @@ func (c *Comm) PendingFrom(win *Win, origin int) (elems int, ok bool) {
 	ts := &win.slots[slot]
 	ts.mu.Lock()
 	for i := range ts.dep {
-		if d := &ts.dep[i]; d.originSlot == oslot && d.epoch == ep && !d.get {
+		if d := &ts.dep[i]; d.originSlot == oslot && d.epoch == ep && !d.get && !d.pscw {
 			elems += d.elems
 			ok = true
 		}

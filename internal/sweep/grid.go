@@ -43,9 +43,12 @@ type Cell struct {
 	// commits run in RedistRMA mode and replica refreshes (when Replicate
 	// is set) use the deferred-epoch one-sided path (core.Config.ReplicaRMA).
 	RMA bool
-	// Resize selects elastic membership change: "none", or "grow" (the
-	// world gains Grid.ResizeAdd timed arrivals at Grid.ResizeCycle and
-	// auto-grows into them mid-run). Empty means "none".
+	// Resize selects elastic membership change: "none", "grow" (the world
+	// gains Grid.ResizeAdd timed arrivals at Grid.ResizeCycle and
+	// auto-grows into them mid-run), or "growskew" (the same growth, but a
+	// competing process lands on node 0 two cycles before the arrivals, so
+	// the diff schedule redistributes into an already-skewed world). Empty
+	// means "none".
 	Resize string
 }
 
@@ -96,11 +99,12 @@ type Grid struct {
 
 // Smoke returns the CI-sized grid: 2 scenarios × 2 world sizes × fault
 // none/crash × replication on/off × one-sided commits on/off × resize
-// none/grow = 64 cells (overlap pinned on — its off/on equivalence has its
-// own dedicated tests), each a few dozen phase cycles, small enough to
-// sweep in seconds yet exercising every adaptation path (CP arrival with
-// unconditional drop, crash recovery with and without replicas, both data
-// movers, and elastic growth into arrival capacity).
+// none/grow/growskew = 96 cells (overlap pinned on — its off/on
+// equivalence has its own dedicated tests), each a few dozen phase cycles,
+// small enough to sweep in seconds yet exercising every adaptation path
+// (CP arrival with unconditional drop, crash recovery with and without
+// replicas, both data movers, and elastic growth into arrival capacity —
+// including growth into a world already skewed by a competing process).
 func Smoke() Grid {
 	return Grid{
 		Scenarios: []string{"jacobi", "sor"},
@@ -110,7 +114,7 @@ func Smoke() Grid {
 		Faults:    []string{"none", "crash"},
 		Reps:      []bool{false, true},
 		RMAs:      []bool{false, true},
-		Resizes:   []string{"none", "grow"},
+		Resizes:   []string{"none", "grow", "growskew"},
 
 		// CostPerElem is high enough that the competing process visibly
 		// degrades its node on a 96x96 grid, so the drop path actually
@@ -199,17 +203,20 @@ func (g *Grid) Validate() error {
 	}
 	for _, rz := range g.Resizes {
 		switch rz {
-		case "none", "grow":
+		case "none", "grow", "growskew":
 		default:
-			return fmt.Errorf("sweep: unknown resize kind %q (want none|grow)", rz)
+			return fmt.Errorf("sweep: unknown resize kind %q (want none|grow|growskew)", rz)
 		}
-		if rz == "grow" {
+		if rz == "grow" || rz == "growskew" {
 			if g.ResizeAdd < 1 {
 				return fmt.Errorf("sweep: grow cells need ResizeAdd >= 1, have %d", g.ResizeAdd)
 			}
 			if g.ResizeCycle < 1 || g.ResizeCycle >= g.Iters {
 				return fmt.Errorf("sweep: resize cycle %d outside run of %d iterations", g.ResizeCycle, g.Iters)
 			}
+		}
+		if rz == "growskew" && g.ResizeCycle < 3 {
+			return fmt.Errorf("sweep: growskew needs ResizeCycle >= 3 (skew lands at ResizeCycle-2), have %d", g.ResizeCycle)
 		}
 	}
 	if g.CPNode >= minRanks {
@@ -225,7 +232,7 @@ func (g *Grid) Validate() error {
 // semicolon-separated list of key=value(,value...) entries; axis keys take
 // comma-separated lists, workload keys take a single value:
 //
-//	scen=jacobi,sor;ranks=4,8;gp=3,5;overlap=0,1;fault=none,crash;rep=0,1;rma=0,1;resize=none,grow
+//	scen=jacobi,sor;ranks=4,8;gp=3,5;overlap=0,1;fault=none,crash;rep=0,1;rma=0,1;resize=none,grow,growskew
 //	rows=96;cols=96;iters=30;cost=10000;cpnode=1;cpcycle=10;crashnode=2;crashcycle=12;resizecycle=18;resizeadd=1
 //
 // Unknown keys are an error; unmentioned keys keep their current values.

@@ -42,13 +42,18 @@ func startWorld(g *Grid, c Cell) *worldRun {
 	if c.Fault == "crash" {
 		spec.Faults = append(spec.Faults, fault.CrashAtCycle(g.CrashNode, g.CrashCycle))
 	}
-	if c.Resize == "grow" {
+	if c.Resize == "grow" || c.Resize == "growskew" {
 		// Timed arrivals: the world auto-grows into them at ResizeCycle; the
 		// gate is extended by the runtime's grow path (WorldGate.Grow) before
 		// the joiners spawn, so the controller accounts for them.
 		for i := 0; i < g.ResizeAdd; i++ {
 			spec = spec.WithArrival(1.0, g.ResizeCycle)
 		}
+	}
+	if c.Resize == "growskew" {
+		// A second competing process degrades node 0 just before the
+		// arrivals, so the grow's diff schedule redistributes under skew.
+		spec = spec.With(cluster.CycleEvent(0, g.ResizeCycle-2, +1))
 	}
 	gate := core.NewWorldGate(c.Ranks)
 	cl := cluster.New(spec)

@@ -26,6 +26,7 @@ type Summary struct {
 	Redists     int
 	RowsSent    int
 	BytesSent   int64
+	BytesRecv   int64              // Σ BytesSent == Σ BytesRecv cluster-wide on fault-free runs
 	Memberships []MembershipRecord // in trace order
 	LoadEvents  []LoadEventRecord  // in trace order
 	Failures    []FailureRecord    // in trace order
@@ -63,6 +64,7 @@ func Summarize(recs []Record) *Summary {
 			s.Redists++
 			s.RowsSent += v.RowsSent
 			s.BytesSent += v.BytesSent
+			s.BytesRecv += v.BytesRecv
 		case MembershipRecord:
 			s.Memberships = append(s.Memberships, v)
 		case LoadEventRecord:
@@ -96,8 +98,8 @@ func (s *Summary) WriteTable(w io.Writer) {
 		fmt.Fprintf(w, "  %-12s %6d records\n", k, s.ByKind[k])
 	}
 	if s.Redists > 0 {
-		fmt.Fprintf(w, "  redistributions: %d (rows sent %d, bytes sent %d; per-rank view)\n",
-			s.Redists, s.RowsSent, s.BytesSent)
+		fmt.Fprintf(w, "  redistributions: %d (rows sent %d, bytes sent %d, bytes recv %d)\n",
+			s.Redists, s.RowsSent, s.BytesSent, s.BytesRecv)
 	}
 	if len(s.Nodes) > 0 {
 		fmt.Fprintf(w, "  %-5s %7s %11s %11s %11s %7s\n",

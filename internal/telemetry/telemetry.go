@@ -127,7 +127,8 @@ type RedistRecord struct {
 	Arrays     []ArrayMove `json:"arrays,omitempty"`
 	RowsSent   int         `json:"rows_sent"`
 	BytesSent  int64       `json:"bytes_sent"`
-	BytesMoved int64       `json:"bytes_moved"`         // sent + received by this node
+	BytesRecv  int64       `json:"bytes_recv"`          // received by this node; Σ sent == Σ recv fault-free
+	BytesMoved int64       `json:"bytes_moved"`         // BytesSent + BytesRecv (kept as an explicit sum)
 	Counts     []int       `json:"counts"`              // installed per-node iteration counts
 	LostRows   int         `json:"lost_rows,omitempty"` // rows declared lost by a failure recovery
 }
